@@ -1,0 +1,62 @@
+// Command estima-bench regenerates the paper's tables and figures (and the
+// DESIGN.md ablations) on the simulated machines, printing each experiment's
+// rows and optionally writing them under a results directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig1..fig16, table4..table7, ablation-*) or 'all'")
+	scale := flag.Float64("scale", 1, "dataset scale factor")
+	outDir := flag.String("out", "", "directory to write per-experiment .txt files (optional)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-22s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	cfg := experiments.Config{Scale: *scale}
+	failed := 0
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "estima-bench: %v\n", err)
+			failed++
+			continue
+		}
+		header := fmt.Sprintf("== %s: %s [%.1fs]\n", res.ID, res.Title, time.Since(start).Seconds())
+		fmt.Print(header, res.Text, "\n")
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "estima-bench: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, res.ID+".txt")
+			if err := os.WriteFile(path, []byte(header+res.Text), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "estima-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func cmdList(args []string) error {
+	fs := newFlagSet("list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Println("workloads:")
+	for _, n := range workloads.Names() {
+		fmt.Printf("  %s\n", n)
+	}
+	fmt.Println("machines:")
+	for _, m := range machine.Presets() {
+		fmt.Printf("  %-8s %2d cores (%d sockets x %d chips x %d cores) @ %.1f GHz [%s]\n",
+			m.Name, m.NumCores(), m.Sockets, m.ChipsPerSocket, m.CoresPerChip, m.FreqGHz, m.Arch)
+	}
+	return nil
+}
+
+func lookup(workload, mach string) (sim.Workload, *machine.Config, error) {
+	w := workloads.ByName(workload)
+	if w == nil {
+		return nil, nil, fmt.Errorf("unknown workload %q (try 'estima list')", workload)
+	}
+	m := machine.ByName(mach)
+	if m == nil {
+		return nil, nil, fmt.Errorf("unknown machine %q (try 'estima list')", mach)
+	}
+	return w, m, nil
+}
+
+// parseCores parses "1,2,4" or "1-12" style core lists.
+func parseCores(spec string, max int) ([]int, error) {
+	if spec == "" || spec == "all" {
+		return sim.CoreRange(max), nil
+	}
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			l, err1 := strconv.Atoi(lo)
+			h, err2 := strconv.Atoi(hi)
+			if err1 != nil || err2 != nil || l < 1 || h < l {
+				return nil, fmt.Errorf("bad core range %q", part)
+			}
+			for c := l; c <= h; c++ {
+				out = append(out, c)
+			}
+		} else {
+			c, err := strconv.Atoi(part)
+			if err != nil || c < 1 {
+				return nil, fmt.Errorf("bad core count %q", part)
+			}
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+func cmdCurve(args []string) error {
+	fs := newFlagSet("curve")
+	workload := fs.String("w", "", "workload name")
+	mach := fs.String("m", "Opteron", "machine name")
+	coreSpec := fs.String("cores", "all", "core counts, e.g. 1-12 or 1,2,4,8")
+	scale := fs.Float64("scale", 1, "dataset scale factor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, m, err := lookup(*workload, *mach)
+	if err != nil {
+		return err
+	}
+	cores, err := parseCores(*coreSpec, m.NumCores())
+	if err != nil {
+		return err
+	}
+	series, err := sim.CollectSeries(w, m, cores, *scale)
+	if err != nil {
+		return err
+	}
+	codes := series.EventCodes()
+	fmt.Printf("# %s on %s (scale %.2f)\n", w.Name(), m.Name, *scale)
+	fmt.Printf("%5s %12s %14s", "cores", "time(s)", "stalls/core")
+	for _, c := range codes {
+		fmt.Printf(" %12s", c)
+	}
+	fmt.Printf(" %12s %12s\n", "lock+barr", "tx-abort")
+	spc := series.StallsPerCore(true, false)
+	for i, smp := range series.Samples {
+		fmt.Printf("%5d %12.6f %14.4g", smp.Cores, smp.Seconds, spc[i])
+		for _, c := range codes {
+			fmt.Printf(" %12.4g", smp.HW[c])
+		}
+		fmt.Printf(" %12.4g %12.4g\n",
+			smp.Soft["lock-spin"]+smp.Soft["barrier-wait"],
+			smp.Soft["tx-aborted"]+smp.Soft["tx-backoff"])
+	}
+	return nil
+}
+
+func cmdCollect(args []string) error {
+	fs := newFlagSet("collect")
+	workload := fs.String("w", "", "workload name")
+	mach := fs.String("m", "Opteron", "machine name")
+	coreSpec := fs.String("cores", "all", "core counts")
+	scale := fs.Float64("scale", 1, "dataset scale factor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, m, err := lookup(*workload, *mach)
+	if err != nil {
+		return err
+	}
+	cores, err := parseCores(*coreSpec, m.NumCores())
+	if err != nil {
+		return err
+	}
+	series, err := sim.CollectSeries(w, m, cores, *scale)
+	if err != nil {
+		return err
+	}
+	// CSV to stdout: cores, seconds, each backend event, each soft category.
+	codes := series.EventCodes()
+	soft := series.SoftNames()
+	header := []string{"cores", "seconds"}
+	header = append(header, codes...)
+	header = append(header, soft...)
+	fmt.Println(strings.Join(header, ","))
+	for _, smp := range series.Samples {
+		row := []string{strconv.Itoa(smp.Cores), fmt.Sprintf("%.9f", smp.Seconds)}
+		for _, c := range codes {
+			row = append(row, fmt.Sprintf("%.0f", smp.HW[c]))
+		}
+		for _, s := range soft {
+			row = append(row, fmt.Sprintf("%.0f", smp.Soft[s]))
+		}
+		fmt.Println(strings.Join(row, ","))
+	}
+	return nil
+}
+
+// cmdPredict and cmdBottleneck are completed in predict.go once the core
+// pipeline is wired in.
+var _ = os.Exit

@@ -1,0 +1,59 @@
+// Command estima is the CLI front end of the ESTIMA reproduction: it lists
+// workloads and machines, collects stalled-cycle measurement series on the
+// simulated machines, prints raw scaling curves, and runs the full
+// extrapolation pipeline (measure on few cores → predict a larger machine).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList(os.Args[2:])
+	case "curve":
+		err = cmdCurve(os.Args[2:])
+	case "collect":
+		err = cmdCollect(os.Args[2:])
+	case "predict":
+		err = cmdPredict(os.Args[2:])
+	case "bottleneck":
+		err = cmdBottleneck(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "estima: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "estima: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: estima <command> [flags]
+
+commands:
+  list        list workloads and machines
+  curve       print measured time and stall curves for a workload
+  collect     collect a measurement series (CSV)
+  predict     run the full ESTIMA prediction pipeline
+  bottleneck  report predicted stall bottlenecks by code site
+`)
+}
+
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// cmdPredict runs the full ESTIMA pipeline: measure the workload on the
+// measurement machine up to -meascores, extrapolate to the target machine,
+// and (optionally) compare against the target machine's actual behaviour.
+func cmdPredict(args []string) error {
+	fs := newFlagSet("predict")
+	workload := fs.String("w", "", "workload name")
+	measMach := fs.String("m", "Opteron", "measurement machine")
+	measCores := fs.Int("meascores", 0, "cores to measure on (default: one processor)")
+	targetMach := fs.String("target", "", "target machine (default: same as -m)")
+	useSoft := fs.Bool("soft", false, "use software stalled cycles")
+	checkpoints := fs.Int("c", 2, "checkpoint count for function selection")
+	dataScale := fs.Float64("datascale", 1, "weak-scaling dataset factor for the target")
+	scale := fs.Float64("scale", 1, "dataset scale of the runs")
+	compare := fs.Bool("compare", true, "also measure the target machine and report errors")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, mm, err := lookup(*workload, *measMach)
+	if err != nil {
+		return err
+	}
+	tm := mm
+	if *targetMach != "" {
+		if tm = machine.ByName(*targetMach); tm == nil {
+			return fmt.Errorf("unknown target machine %q", *targetMach)
+		}
+	}
+	if *measCores <= 0 {
+		*measCores = mm.CoresPerChip * mm.ChipsPerSocket // one processor
+		if *measCores > mm.NumCores() {
+			*measCores = mm.NumCores()
+		}
+	}
+
+	fmt.Printf("measuring %s on %s (1..%d cores)...\n", w.Name(), mm.Name, *measCores)
+	measured, err := sim.CollectSeries(w, mm, sim.CoreRange(*measCores), *scale)
+	if err != nil {
+		return err
+	}
+	targets := sim.CoreRange(tm.NumCores())
+	pred, err := core.Predict(measured, targets, core.Options{
+		UseSoftware:  *useSoft,
+		Checkpoints:  *checkpoints,
+		FreqRatio:    mm.FreqGHz / tm.FreqGHz,
+		DatasetScale: *dataScale,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nselected extrapolation functions:\n")
+	for cat, f := range pred.CategoryFits {
+		fmt.Printf("  %-14s %s\n", cat, f)
+	}
+	fmt.Printf("  %-14s %s (scaling factor)\n", "factor", pred.FactorFit)
+	fmt.Printf("\npredicted scaling stop: %d cores\n\n", pred.ScalingStop())
+
+	var actual []float64
+	if *compare {
+		fmt.Printf("measuring actual behaviour on %s (this is the expensive step ESTIMA avoids)...\n", tm.Name)
+		act, err := sim.CollectSeries(w, tm, targets, *scale**dataScale)
+		if err != nil {
+			return err
+		}
+		actual = act.Times()
+	}
+	fmt.Printf("%5s %14s %14s %8s\n", "cores", "predicted(s)", "actual(s)", "err%")
+	for i, c := range pred.TargetCores {
+		if actual != nil {
+			fmt.Printf("%5.0f %14.6f %14.6f %8.1f\n", c, pred.Time[i], actual[i],
+				stats.AbsPctErr(pred.Time[i], actual[i]))
+		} else {
+			fmt.Printf("%5.0f %14.6f %14s %8s\n", c, pred.Time[i], "-", "-")
+		}
+	}
+	return nil
+}
+
+// cmdBottleneck reports the predicted dominant stall categories and their
+// code sites (paper §4.6).
+func cmdBottleneck(args []string) error {
+	fs := newFlagSet("bottleneck")
+	workload := fs.String("w", "", "workload name")
+	measMach := fs.String("m", "Opteron", "measurement machine")
+	measCores := fs.Int("meascores", 0, "cores to measure on (default: one processor)")
+	scale := fs.Float64("scale", 1, "dataset scale")
+	topN := fs.Int("top", 3, "sites per category")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, mm, err := lookup(*workload, *measMach)
+	if err != nil {
+		return err
+	}
+	if *measCores <= 0 {
+		*measCores = mm.CoresPerChip * mm.ChipsPerSocket
+	}
+	measured, err := sim.CollectSeries(w, mm, sim.CoreRange(*measCores), *scale)
+	if err != nil {
+		return err
+	}
+	pred, err := core.Predict(measured, sim.CoreRange(mm.NumCores()), core.Options{UseSoftware: true})
+	if err != nil {
+		return err
+	}
+	bns, err := pred.Bottlenecks(measured, *topN)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("predicted stall categories at %d cores (measured on %d):\n", mm.NumCores(), *measCores)
+	for _, b := range bns {
+		fmt.Printf("  %-14s %6.1f%% of stalls  growth %5.1fx\n", b.Category, 100*b.ShareOfTotal, b.Growth)
+		for _, s := range b.TopSites {
+			fmt.Printf("      %5.1f%%  %s\n", 100*s.Share, s.Site)
+		}
+	}
+	return nil
+}

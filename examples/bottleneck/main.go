@@ -1,0 +1,66 @@
+// The §4.6 workflow: use ESTIMA's extrapolated stall categories to find the
+// bottleneck that WILL appear at higher core counts, apply the fix, and
+// compare. streamcluster's pthread-mutex barriers are replaced with
+// test-and-set spin barriers; intruder decodes more elements per
+// transaction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func analyze(name, fixedName string) {
+	mach := machine.Opteron()
+	w := workloads.ByName(name)
+
+	measured, err := sim.CollectSeries(w, mach, sim.CoreRange(12), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := core.Predict(measured, sim.CoreRange(mach.NumCores()), core.Options{UseSoftware: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bns, err := pred.Bottlenecks(measured, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== %s: predicted stall mix at %d cores\n", name, mach.NumCores())
+	for i, b := range bns {
+		if i >= 3 {
+			break
+		}
+		fmt.Printf("  %-14s %5.1f%% of stalls, growing %.1fx", b.Category, 100*b.ShareOfTotal, b.Growth)
+		if len(b.TopSites) > 0 {
+			fmt.Printf(" -> %s", b.TopSites[0].Site)
+		}
+		fmt.Println()
+	}
+
+	// Apply the fix and measure both at full scale.
+	orig, err := sim.CollectSeries(w, mach, []int{24, 48}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fixed, err := sim.CollectSeries(workloads.ByName(fixedName), mach, []int{24, 48}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, c := range []int{24, 48} {
+		o, f := orig.Samples[i].Seconds, fixed.Samples[i].Seconds
+		fmt.Printf("  %2d cores: %s %.6fs -> %s %.6fs (%.0f%% faster)\n",
+			c, name, o, fixedName, f, 100*(o-f)/o)
+	}
+	fmt.Println()
+}
+
+func main() {
+	analyze("streamcluster", "streamcluster-spin")
+	analyze("intruder", "intruder-batch")
+}

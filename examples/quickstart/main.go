@@ -1,0 +1,52 @@
+// Quickstart: the minimal ESTIMA flow. Measure a workload's stalled cycles
+// and execution time on a few cores of a machine, extrapolate every stall
+// category, and predict the execution time for the whole machine — then
+// check the prediction against the machine's actual behaviour.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func main() {
+	mach := machine.Opteron()
+	w := workloads.ByName("vacation-low")
+
+	// Step A: collect measurements on one processor (12 of 48 cores).
+	measured, err := sim.CollectSeries(w, mach, sim.CoreRange(12), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Steps B+C: extrapolate the stall categories and predict the time.
+	targets := sim.CoreRange(mach.NumCores())
+	pred, err := core.Predict(measured, targets, core.Options{UseSoftware: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on %s, measured on 12 cores:\n", w.Name(), mach.Name)
+	fmt.Printf("  predicted scaling stop: %d cores\n\n", pred.ScalingStop())
+
+	// Validate against the full machine (the run ESTIMA saves you).
+	actual, err := sim.CollectSeries(w, mach, targets, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%5s %13s %13s %7s\n", "cores", "predicted(s)", "actual(s)", "err%")
+	for i, c := range targets {
+		if c%6 != 0 && c != 1 {
+			continue
+		}
+		act := actual.Samples[i].Seconds
+		fmt.Printf("%5d %13.6f %13.6f %7.1f\n", c, pred.Time[i], act,
+			stats.AbsPctErr(pred.Time[i], act))
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/counters"
+)
+
+// SiteShare attributes a fraction of a stall category to a code site.
+type SiteShare struct {
+	// Site is the code location the workload attributed the stalls to
+	// (e.g. "pthread_mutex_trylock/barrier").
+	Site string
+	// Share is the site's fraction of the category's measured cycles.
+	Share float64
+}
+
+// Bottleneck describes one stall category's predicted contribution at the
+// highest target core count, with the code sites responsible for it in the
+// measurements (§4.6: ESTIMA ranks the extrapolated categories, then perf
+// pinpoints the sources; here the simulator's site attribution plays perf's
+// role).
+type Bottleneck struct {
+	// Category is the event code or software stall name.
+	Category string
+	// PredictedCycles is the category's extrapolated value at the highest
+	// target core count.
+	PredictedCycles float64
+	// ShareOfTotal is the category's fraction of all predicted stalls.
+	ShareOfTotal float64
+	// Growth is predicted cycles at the target divided by the measured
+	// cycles at the highest measured core count (how fast the category is
+	// inflating — the signature of a future bottleneck).
+	Growth float64
+	// TopSites ranks the code sites of the category in the measurements.
+	TopSites []SiteShare
+}
+
+// Bottlenecks ranks the predicted stall categories at the highest target
+// core count and attributes each to code sites using the highest-core
+// measurement of the series.
+func (p *Prediction) Bottlenecks(series *counters.Series, topSites int) ([]Bottleneck, error) {
+	if len(series.Samples) == 0 {
+		return nil, ErrTooFewSamples
+	}
+	last := series.Samples[len(series.Samples)-1]
+	lastIdx := len(p.TargetCores) - 1
+
+	total := 0.0
+	for _, vals := range p.CategoryValues {
+		total += vals[lastIdx]
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("core: no predicted stalls to rank")
+	}
+
+	measuredOf := func(cat string) float64 {
+		if v, ok := last.HW[cat]; ok {
+			return v
+		}
+		if v, ok := last.Soft[cat]; ok {
+			return v
+		}
+		return last.Frontend[cat]
+	}
+
+	var out []Bottleneck
+	for cat, vals := range p.CategoryValues {
+		v := vals[lastIdx]
+		if v <= 0 {
+			continue
+		}
+		b := Bottleneck{
+			Category:        cat,
+			PredictedCycles: v,
+			ShareOfTotal:    v / total,
+		}
+		if m := measuredOf(cat); m > 0 {
+			b.Growth = v / m
+		}
+		b.TopSites = siteShares(last, cat, topSites)
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PredictedCycles != out[j].PredictedCycles {
+			return out[i].PredictedCycles > out[j].PredictedCycles
+		}
+		return out[i].Category < out[j].Category
+	})
+	return out, nil
+}
+
+// siteShares ranks the sites contributing to one category in a sample.
+func siteShares(s counters.Sample, category string, topN int) []SiteShare {
+	total := 0.0
+	var shares []SiteShare
+	for site, cats := range s.Sites {
+		if v := cats[category]; v > 0 {
+			shares = append(shares, SiteShare{Site: site, Share: v})
+			total += v
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	for i := range shares {
+		shares[i].Share /= total
+	}
+	sort.Slice(shares, func(i, j int) bool {
+		if shares[i].Share != shares[j].Share {
+			return shares[i].Share > shares[j].Share
+		}
+		return shares[i].Site < shares[j].Site
+	})
+	if topN > 0 && len(shares) > topN {
+		shares = shares[:topN]
+	}
+	return shares
+}
+
+// ScalingStop returns the core count at which the predicted execution time
+// saturates — the paper's "number of cores for which the application stops
+// scaling". It uses a 10% knee rather than the global minimum so that long,
+// nearly flat tails (where a fraction of a percent separates core counts)
+// do not masquerade as continued scaling.
+func (p *Prediction) ScalingStop() int {
+	return SaturationPoint(p.TargetCores, p.Time, 0.10)
+}
+
+// ScalingStopOf is ScalingStop for a measured series, used to compare the
+// predicted and actual stop points.
+func ScalingStopOf(series *counters.Series) int {
+	return SaturationOf(series)
+}
+
+// SaturationPoint returns the smallest core count beyond which the time
+// series never improves by more than tol (fractionally) — the knee where
+// adding cores stops paying off. Unlike the global minimum it is robust to
+// long, slightly drifting tails. cores and times must be parallel slices
+// ordered by core count.
+func SaturationPoint(cores []float64, times []float64, tol float64) int {
+	if len(cores) == 0 || len(cores) != len(times) {
+		return 0
+	}
+	for i := range cores {
+		bestLater := times[i]
+		for j := i + 1; j < len(times); j++ {
+			if times[j] < bestLater {
+				bestLater = times[j]
+			}
+		}
+		if bestLater > times[i]*(1-tol) {
+			return int(cores[i])
+		}
+	}
+	return int(cores[len(cores)-1])
+}
+
+// SaturationOf is SaturationPoint over a measured series with the default
+// 10% tolerance.
+func SaturationOf(series *counters.Series) int {
+	cores := series.Cores()
+	times := series.Times()
+	return SaturationPoint(cores, times, 0.10)
+}

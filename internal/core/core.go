@@ -1,0 +1,329 @@
+// Package core implements the ESTIMA prediction pipeline of the paper's §3:
+//
+//	(A) collect stalled-cycle and execution-time measurements at low core
+//	    counts (package sim or a perf-based collector produces the Series);
+//	(B) extrapolate every stalled-cycle category individually with the
+//	    Table 1 function kernels, selecting per category the function with
+//	    minimum RMSE at the checkpoint measurements;
+//	(C) combine the extrapolations into total stalled cycles per core,
+//	    fit the scaling factor that connects stalls to execution time —
+//	    chosen to maximize the correlation of the produced time predictions
+//	    with the stalls-per-core series — and emit execution-time
+//	    predictions for the target core counts.
+//
+// The package also implements the paper's cross-machine frequency scaling
+// (§4.3), weak-scaling dataset factors (§4.5), prediction-error evaluation
+// (Table 4) and stall-source bottleneck reports (§4.6).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/counters"
+	"repro/internal/fit"
+	"repro/internal/stats"
+)
+
+// ErrTooFewSamples is returned when the series has fewer than two samples.
+var ErrTooFewSamples = errors.New("core: need at least two measurement samples")
+
+// Options configures a prediction.
+type Options struct {
+	// Checkpoints is the c of the approximation procedure (2 or 4 in the
+	// paper). 0 means the fit package default (2).
+	Checkpoints int
+	// UseSoftware includes software stall categories (aborted transaction
+	// cycles, lock spinning, barrier waits) in the extrapolation. This is
+	// the plugin path of §4.1/§5.3; hardware-only is the default exactly
+	// as in the paper.
+	UseSoftware bool
+	// IncludeFrontend adds frontend stall events (the §5.2 ablation; off
+	// in the real tool).
+	IncludeFrontend bool
+	// Kernels overrides the extrapolation function library (ablations).
+	Kernels []*fit.Kernel
+	// FreqRatio is measurement-machine frequency divided by target-machine
+	// frequency; predicted times are multiplied by it (§4.3). 0 means 1.
+	FreqRatio float64
+	// DatasetScale is the weak-scaling dataset factor of §4.5: extrapolated
+	// stall values are scaled by it before the time correlation. 0 means 1.
+	DatasetScale float64
+}
+
+// Prediction is the result of one ESTIMA run.
+type Prediction struct {
+	// Workload and MeasuredOn identify the input series.
+	Workload   string
+	MeasuredOn string
+	// MeasuredCores are the core counts of the input measurements.
+	MeasuredCores []float64
+	// TargetCores are the core counts predicted for.
+	TargetCores []float64
+	// CategoryFits maps stall category (event code or software name) to
+	// its selected extrapolation function.
+	CategoryFits map[string]*fit.Fit
+	// CategoryValues maps category to its extrapolated values over
+	// TargetCores (clamped non-negative).
+	CategoryValues map[string][]float64
+	// StallsPerCore is the combined extrapolation: total stalled cycles
+	// divided by core count, over TargetCores.
+	StallsPerCore []float64
+	// FactorFit is the scaling-factor function selected by correlation.
+	FactorFit *fit.Fit
+	// Time is the predicted execution time in seconds (on the target
+	// machine when FreqRatio was set) over TargetCores.
+	Time []float64
+}
+
+// Predict runs steps B and C on a measured series.
+func Predict(series *counters.Series, targetCores []int, opt Options) (*Prediction, error) {
+	if len(series.Samples) < 2 {
+		return nil, ErrTooFewSamples
+	}
+	if len(targetCores) == 0 {
+		return nil, errors.New("core: no target core counts")
+	}
+	xs := series.Cores()
+	times := series.Times()
+	targets := make([]float64, len(targetCores))
+	for i, c := range targetCores {
+		if c < 1 {
+			return nil, fmt.Errorf("core: bad target core count %d", c)
+		}
+		targets[i] = float64(c)
+	}
+	sort.Float64s(targets)
+	fopt := fit.Options{
+		Checkpoints: opt.Checkpoints,
+		MaxX:        targets[len(targets)-1],
+		Kernels:     opt.Kernels,
+		// Between the measurement window and a 4x larger machine, stall
+		// categories realistically grow by at most ~an order of magnitude;
+		// 20x headroom keeps runaway rationals out without constraining
+		// real trends. The tail-slope cap additionally ties the allowed
+		// growth to the trend visible at the end of the window.
+		MaxGrowth:    20,
+		TailSlopeCap: 4,
+	}
+
+	p := &Prediction{
+		Workload:       series.Workload,
+		MeasuredOn:     series.Machine,
+		MeasuredCores:  xs,
+		TargetCores:    targets,
+		CategoryFits:   map[string]*fit.Fit{},
+		CategoryValues: map[string][]float64{},
+	}
+
+	// Step B: extrapolate each stall category individually.
+	type category struct {
+		name string
+		ys   []float64
+	}
+	var cats []category
+	for _, code := range series.EventCodes() {
+		cats = append(cats, category{code, series.Event(code)})
+	}
+	if opt.IncludeFrontend {
+		seen := map[string]bool{}
+		for i := range series.Samples {
+			for code := range series.Samples[i].Frontend {
+				if !seen[code] {
+					seen[code] = true
+					cats = append(cats, category{code, series.FrontendEvent(code)})
+				}
+			}
+		}
+	}
+	if opt.UseSoftware {
+		for _, name := range series.SoftNames() {
+			cats = append(cats, category{name, series.SoftCategory(name)})
+		}
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i].name < cats[j].name })
+
+	dataScale := opt.DatasetScale
+	if dataScale <= 0 {
+		dataScale = 1
+	}
+	for _, cat := range cats {
+		if allNearZero(cat.ys) {
+			p.CategoryValues[cat.name] = make([]float64, len(targets))
+			continue
+		}
+		f, err := approximateRelaxing(xs, cat.ys, fopt)
+		if err != nil {
+			return nil, fmt.Errorf("core: extrapolating %s for %s: %w", cat.name, series.Workload, err)
+		}
+		p.CategoryFits[cat.name] = f
+		vals := make([]float64, len(targets))
+		for i, x := range targets {
+			v := f.Eval(x) * dataScale
+			if v < 0 {
+				v = 0
+			}
+			vals[i] = v
+		}
+		p.CategoryValues[cat.name] = vals
+	}
+
+	// Combine: total stalled cycles per core over the targets.
+	p.StallsPerCore = make([]float64, len(targets))
+	for i := range targets {
+		total := 0.0
+		for _, vals := range p.CategoryValues {
+			total += vals[i]
+		}
+		p.StallsPerCore[i] = total / targets[i]
+	}
+
+	// Step C: the scaling factor connecting stalls per core to time. The
+	// factor is computed from the measurements, extrapolated with the same
+	// kernels, and selected for maximum correlation of the produced time
+	// predictions with the extrapolated stalls per core (§3.1.3).
+	measuredSPC := series.StallsPerCore(opt.UseSoftware, opt.IncludeFrontend)
+	factor := make([]float64, len(xs))
+	for i := range xs {
+		if measuredSPC[i] <= 0 {
+			return nil, fmt.Errorf("core: zero measured stalls per core at %v cores", xs[i])
+		}
+		factor[i] = times[i] / measuredSPC[i]
+	}
+	factorOpt := fopt
+	// Sanity bounds on the produced time predictions: relative to the
+	// highest-core measurement, adding cores cannot plausibly slow the
+	// application by more than ~4x or speed it up by more than ~10x.
+	lastTime := times[len(times)-1]
+	factorOpt.LoBound = lastTime / 10
+	factorOpt.HiBound = lastTime * 4
+	ffit, err := fit.SelectByCorrelation(xs, factor, targets, p.StallsPerCore, factorOpt)
+	if err != nil {
+		return nil, fmt.Errorf("core: fitting scaling factor for %s: %w", series.Workload, err)
+	}
+	p.FactorFit = ffit
+
+	freq := opt.FreqRatio
+	if freq <= 0 {
+		freq = 1
+	}
+	p.Time = make([]float64, len(targets))
+	for i, x := range targets {
+		t := ffit.Eval(x) * p.StallsPerCore[i] * freq
+		if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+			return nil, fmt.Errorf("core: unrealistic time prediction %v at %v cores", t, x)
+		}
+		p.Time[i] = t
+	}
+	return p, nil
+}
+
+// approximateRelaxing runs the Figure 4 approximation, progressively
+// relaxing the realism filters if they reject every candidate (very noisy
+// small categories occasionally defeat the strict settings; the tool must
+// still produce an answer).
+func approximateRelaxing(xs, ys []float64, fopt fit.Options) (*fit.Fit, error) {
+	f, err := fit.Approximate(xs, ys, fopt)
+	if err == nil {
+		return f, nil
+	}
+	// Last resort: a linear continuation. It cannot blow up and always
+	// exists; noisy small categories occasionally defeat every Table 1
+	// kernel's realism checks.
+	relaxed := fopt
+	relaxed.Kernels = []*fit.Kernel{fit.Linear}
+	relaxed.MaxFitNRMSE = 1e9
+	relaxed.MaxGrowth = 1e9
+	relaxed.TailSlopeCap = 0
+	relaxed.AllowNegative = true
+	return fit.Approximate(xs, ys, relaxed)
+}
+
+// TimeAt returns the predicted time at the given core count.
+func (p *Prediction) TimeAt(cores int) (float64, error) {
+	for i, c := range p.TargetCores {
+		if int(c) == cores {
+			return p.Time[i], nil
+		}
+	}
+	return 0, fmt.Errorf("core: %d cores not among prediction targets", cores)
+}
+
+// allNearZero reports whether the category is effectively absent (e.g. STM
+// categories of a lock-based workload).
+func allNearZero(ys []float64) bool {
+	maxAbs := 0.0
+	for _, y := range ys {
+		if a := math.Abs(y); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	return maxAbs < 1e-9
+}
+
+// ErrorBand is one evaluation band of Table 4 (e.g. "predictions between 13
+// and 24 cores" is the Opteron's 2-CPU column).
+type ErrorBand struct {
+	// Label names the band in reports ("2 CPUs").
+	Label string
+	// MinCores (exclusive) and MaxCores (inclusive) bound the band.
+	MinCores, MaxCores int
+	// MaxPctError is the maximum |pred-actual|/actual over the band, in %.
+	MaxPctError float64
+}
+
+// Errors evaluates the prediction against an actual measured series on the
+// target machine, returning the maximum and mean absolute percentage error
+// over all target core counts present in both.
+func (p *Prediction) Errors(actual *counters.Series) (maxPct, meanPct float64, err error) {
+	var pred, act []float64
+	for i, c := range p.TargetCores {
+		for _, s := range actual.Samples {
+			if s.Cores == int(c) {
+				pred = append(pred, p.Time[i])
+				act = append(act, s.Seconds)
+			}
+		}
+	}
+	if len(pred) == 0 {
+		return 0, 0, errors.New("core: no overlapping core counts to evaluate")
+	}
+	maxPct, err = stats.MaxAbsPctErr(pred, act)
+	if err != nil {
+		return 0, 0, err
+	}
+	meanPct, err = stats.MeanAbsPctErr(pred, act)
+	return maxPct, meanPct, err
+}
+
+// BandErrors evaluates the prediction against the actual series within
+// core-count bands, mirroring Table 4's per-CPU-count columns.
+func (p *Prediction) BandErrors(actual *counters.Series, bands []ErrorBand) ([]ErrorBand, error) {
+	out := append([]ErrorBand(nil), bands...)
+	for bi := range out {
+		var pred, act []float64
+		for i, c := range p.TargetCores {
+			cc := int(c)
+			if cc <= out[bi].MinCores || cc > out[bi].MaxCores {
+				continue
+			}
+			for _, s := range actual.Samples {
+				if s.Cores == cc {
+					pred = append(pred, p.Time[i])
+					act = append(act, s.Seconds)
+				}
+			}
+		}
+		if len(pred) == 0 {
+			return nil, fmt.Errorf("core: band %q has no overlapping samples", out[bi].Label)
+		}
+		m, err := stats.MaxAbsPctErr(pred, act)
+		if err != nil {
+			return nil, err
+		}
+		out[bi].MaxPctError = m
+	}
+	return out, nil
+}

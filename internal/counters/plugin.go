@@ -1,0 +1,118 @@
+package counters
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+)
+
+// PluginSpec configures one additional stalled-cycle category collected from
+// a runtime's textual output, mirroring the paper's plugin mechanism
+// (§4.1): a path (or the special names "stdout"/"stderr"), a regular
+// expression whose first capture group yields a cycle count, and an
+// aggregation function applied when the expression matches multiple times
+// (e.g. once per thread).
+type PluginSpec struct {
+	// Name is the stall category the extracted value is reported under.
+	Name string `json:"name"`
+	// Path is the file the runtime reports into, or "stdout"/"stderr".
+	Path string `json:"path"`
+	// Pattern is a regexp with at least one capture group; group 1 must
+	// parse as a floating-point number.
+	Pattern string `json:"pattern"`
+	// Aggregate is one of "sum", "min", "max", "avg". Default "sum".
+	Aggregate string `json:"aggregate"`
+}
+
+// ParsePluginConfig reads a JSON array of PluginSpec from r and validates
+// each entry.
+func ParsePluginConfig(r io.Reader) ([]PluginSpec, error) {
+	var specs []PluginSpec
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&specs); err != nil {
+		return nil, fmt.Errorf("counters: parsing plugin config: %w", err)
+	}
+	for i := range specs {
+		if err := specs[i].validate(); err != nil {
+			return nil, err
+		}
+	}
+	return specs, nil
+}
+
+func (p *PluginSpec) validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("counters: plugin with empty name")
+	}
+	if p.Pattern == "" {
+		return fmt.Errorf("counters: plugin %q has empty pattern", p.Name)
+	}
+	re, err := regexp.Compile(p.Pattern)
+	if err != nil {
+		return fmt.Errorf("counters: plugin %q pattern: %w", p.Name, err)
+	}
+	if re.NumSubexp() < 1 {
+		return fmt.Errorf("counters: plugin %q pattern has no capture group", p.Name)
+	}
+	switch p.Aggregate {
+	case "", "sum", "min", "max", "avg":
+	default:
+		return fmt.Errorf("counters: plugin %q has unknown aggregate %q", p.Name, p.Aggregate)
+	}
+	return nil
+}
+
+// Extract applies the plugin's pattern to the given runtime output and
+// returns the aggregated value. It returns an error when the pattern does
+// not match or a captured group does not parse.
+func (p *PluginSpec) Extract(text string) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	re := regexp.MustCompile(p.Pattern)
+	matches := re.FindAllStringSubmatch(text, -1)
+	if len(matches) == 0 {
+		return 0, fmt.Errorf("counters: plugin %q matched nothing", p.Name)
+	}
+	vals := make([]float64, 0, len(matches))
+	for _, m := range matches {
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			return 0, fmt.Errorf("counters: plugin %q captured %q: %w", p.Name, m[1], err)
+		}
+		vals = append(vals, v)
+	}
+	switch p.Aggregate {
+	case "", "sum":
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return s, nil
+	case "avg":
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return s / float64(len(vals)), nil
+	case "min":
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m, nil
+	case "max":
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m, nil
+	}
+	return 0, fmt.Errorf("counters: plugin %q has unknown aggregate %q", p.Name, p.Aggregate)
+}

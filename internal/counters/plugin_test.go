@@ -1,0 +1,88 @@
+package counters
+
+import (
+	"strings"
+	"testing"
+)
+
+const swissTMOutput = `SwissTM statistics
+thread 0: committed_tx_cycles=120000 aborted_tx_cycles=34000
+thread 1: committed_tx_cycles=118000 aborted_tx_cycles=41000
+thread 2: committed_tx_cycles=121500 aborted_tx_cycles=38500
+`
+
+func TestParsePluginConfig(t *testing.T) {
+	cfg := `[
+		{"name": "tx-aborted", "path": "stdout",
+		 "pattern": "aborted_tx_cycles=([0-9.]+)", "aggregate": "sum"},
+		{"name": "tx-committed", "path": "stdout",
+		 "pattern": "committed_tx_cycles=([0-9.]+)", "aggregate": "avg"}
+	]`
+	specs, err := ParsePluginConfig(strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	v, err := specs[0].Extract(swissTMOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 34000+41000+38500 {
+		t.Errorf("sum = %v", v)
+	}
+	v, err = specs[1].Extract(swissTMOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (120000.0 + 118000 + 121500) / 3
+	if v != want {
+		t.Errorf("avg = %v, want %v", v, want)
+	}
+}
+
+func TestPluginMinMax(t *testing.T) {
+	spec := PluginSpec{Name: "x", Pattern: `v=([0-9]+)`, Aggregate: "min"}
+	v, err := spec.Extract("v=3 v=1 v=7")
+	if err != nil || v != 1 {
+		t.Errorf("min = %v, %v", v, err)
+	}
+	spec.Aggregate = "max"
+	v, err = spec.Extract("v=3 v=1 v=7")
+	if err != nil || v != 7 {
+		t.Errorf("max = %v, %v", v, err)
+	}
+}
+
+func TestPluginErrors(t *testing.T) {
+	cases := []PluginSpec{
+		{Name: "", Pattern: `v=([0-9]+)`},                       // empty name
+		{Name: "x", Pattern: ""},                                // empty pattern
+		{Name: "x", Pattern: `v=[0-9]+`},                        // no capture group
+		{Name: "x", Pattern: `v=([0-9]+)`, Aggregate: "median"}, // bad aggregate
+		{Name: "x", Pattern: `v=((`, Aggregate: "sum"},          // bad regexp
+	}
+	for i, c := range cases {
+		if _, err := c.Extract("v=1"); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+	good := PluginSpec{Name: "x", Pattern: `v=([0-9]+)`}
+	if _, err := good.Extract("nothing here"); err == nil {
+		t.Error("no match should error")
+	}
+	bad := PluginSpec{Name: "x", Pattern: `v=([a-z]+)`}
+	if _, err := bad.Extract("v=abc"); err == nil {
+		t.Error("non-numeric capture should error")
+	}
+}
+
+func TestParsePluginConfigRejectsBadJSON(t *testing.T) {
+	if _, err := ParsePluginConfig(strings.NewReader("{not json")); err == nil {
+		t.Error("bad JSON should error")
+	}
+	if _, err := ParsePluginConfig(strings.NewReader(`[{"name":"", "pattern":"(x)"}]`)); err == nil {
+		t.Error("invalid spec should error")
+	}
+}

@@ -1,0 +1,212 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4 and §5) on the simulated machines, plus the ablations
+// called out in DESIGN.md. Each experiment returns a Result whose Text holds
+// the same rows/series the paper reports; cmd/estima-bench and bench_test.go
+// are thin wrappers around this package.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/counters"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Scale shrinks the datasets (1 = paper-like runs; tests use less).
+	Scale float64
+	// Workers bounds concurrent simulations; 0 means NumCPU.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	return c
+}
+
+// Result is one regenerated experiment.
+type Result struct {
+	// ID is the experiment key ("fig5", "table4", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Text is the rendered output: the rows/series the paper reports.
+	Text string
+}
+
+// runner is an experiment entry point.
+type runner struct {
+	id    string
+	title string
+	fn    func(*env) (*Result, error)
+}
+
+var runners []runner
+
+func registerExp(id, title string, fn func(*env) (*Result, error)) {
+	runners = append(runners, runner{id, title, fn})
+}
+
+// IDs returns all experiment ids in registration (paper) order.
+func IDs() []string {
+	out := make([]string, len(runners))
+	for i, r := range runners {
+		out[i] = r.id
+	}
+	return out
+}
+
+// Title returns an experiment's title, or "".
+func Title(id string) string {
+	for _, r := range runners {
+		if r.id == id {
+			return r.title
+		}
+	}
+	return ""
+}
+
+// Run executes one experiment by id.
+func Run(id string, cfg Config) (*Result, error) {
+	for _, r := range runners {
+		if r.id == id {
+			e := newEnv(cfg.withDefaults())
+			res, err := r.fn(e)
+			if err != nil {
+				return nil, fmt.Errorf("experiment %s: %w", id, err)
+			}
+			res.ID = r.id
+			res.Title = r.title
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown experiment %q (known: %v)", id, IDs())
+}
+
+// env carries the config and a memoizing, parallel measurement collector
+// shared by one experiment run.
+type env struct {
+	cfg   Config
+	mu    sync.Mutex
+	cache map[seriesKey]*entry
+	sem   chan struct{}
+}
+
+type seriesKey struct {
+	workload string
+	machine  string
+	maxCores int
+	scale    float64
+}
+
+type entry struct {
+	once   sync.Once
+	series *counters.Series
+	err    error
+}
+
+func newEnv(cfg Config) *env {
+	return &env{
+		cfg:   cfg,
+		cache: map[seriesKey]*entry{},
+		sem:   make(chan struct{}, cfg.Workers),
+	}
+}
+
+// series measures workload on machine at cores 1..maxCores (memoized).
+// dataScale multiplies the experiment's base scale (weak-scaling runs).
+func (e *env) series(workload string, m *machine.Config, maxCores int, dataScale float64) (*counters.Series, error) {
+	key := seriesKey{workload, m.Name, maxCores, dataScale}
+	e.mu.Lock()
+	ent, ok := e.cache[key]
+	if !ok {
+		ent = &entry{}
+		e.cache[key] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		w := workloads.ByName(workload)
+		if w == nil {
+			ent.err = fmt.Errorf("unknown workload %q", workload)
+			return
+		}
+		s := &counters.Series{Workload: workload, Machine: m.Name}
+		samples := make([]counters.Sample, maxCores)
+		errs := make([]error, maxCores)
+		var wg sync.WaitGroup
+		for c := 1; c <= maxCores; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				e.sem <- struct{}{}
+				defer func() { <-e.sem }()
+				samples[c-1], errs[c-1] = sim.Collect(w, m, c, e.cfg.Scale*dataScale)
+			}(c)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				ent.err = err
+				return
+			}
+		}
+		s.Samples = samples
+		ent.series = s
+	})
+	return ent.series, ent.err
+}
+
+// window returns the first maxCores samples of a series as a new series
+// (the "measurements machine" view).
+func window(s *counters.Series, maxCores int) *counters.Series {
+	out := &counters.Series{Workload: s.Workload, Machine: s.Machine}
+	for _, smp := range s.Samples {
+		if smp.Cores <= maxCores {
+			out.Samples = append(out.Samples, smp)
+		}
+	}
+	return out
+}
+
+// coresFrom returns the core counts in (from, to].
+func coresFrom(from, to int) []int {
+	var out []int
+	for c := from + 1; c <= to; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// usesSoftwareStalls reports whether the paper collects software stalls for
+// this workload (§5.3: all STAMP applications via the SwissTM statistics,
+// plus streamcluster via the pthread wrapper).
+func usesSoftwareStalls(workload string) bool {
+	for _, n := range workloads.STAMPNames() {
+		if n == workload {
+			return true
+		}
+	}
+	return workload == "streamcluster" || workload == "streamcluster-spin" ||
+		workload == "intruder-batch"
+}
+
+// sortedCats returns category names of a map in stable order.
+func sortedCats(m map[string][]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps the smoke tests fast; the experiments only need enough
+// work to produce non-degenerate series.
+const tinyScale = 0.1
+
+func TestIDsAndTitles(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 21 {
+		t.Errorf("got %d experiments, want 21", len(ids))
+	}
+	want := []string{"fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+		"table4", "table5", "table6", "table7",
+		"ablation-aggregate", "ablation-checkpoints", "ablation-kernels"}
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+		if Title(id) == "" {
+			t.Errorf("experiment %s has no title", id)
+		}
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+	if Title("nope") != "" {
+		t.Error("unknown id should have empty title")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", Config{}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+// TestQuickExperiments runs the cheap experiments end to end at a tiny
+// scale; the expensive multi-machine tables are exercised by the
+// benchmarks and cmd/estima-bench.
+func TestQuickExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not short")
+	}
+	for _, id := range []string{"fig1", "fig2", "fig12", "fig14"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(id, Config{Scale: tinyScale})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID != id || res.Title == "" {
+				t.Errorf("result metadata: %+v", res)
+			}
+			if !strings.Contains(res.Text, "cores") {
+				t.Errorf("%s output has no series:\n%s", id, res.Text)
+			}
+		})
+	}
+}
+
+func TestFig6AtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not short")
+	}
+	res, err := Run("fig6", Config{Scale: tinyScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"memcached", "sqlite"} {
+		if !strings.Contains(res.Text, name) {
+			t.Errorf("fig6 output missing %s", name)
+		}
+	}
+}
+
+func TestWindowAndCoresFrom(t *testing.T) {
+	if got := coresFrom(12, 15); len(got) != 3 || got[0] != 13 || got[2] != 15 {
+		t.Errorf("coresFrom = %v", got)
+	}
+	if got := coresFrom(5, 5); got != nil {
+		t.Errorf("empty coresFrom = %v", got)
+	}
+}
+
+func TestUsesSoftwareStalls(t *testing.T) {
+	for _, name := range []string{"genome", "intruder", "streamcluster", "yada"} {
+		if !usesSoftwareStalls(name) {
+			t.Errorf("%s should use software stalls", name)
+		}
+	}
+	for _, name := range []string{"blackscholes", "memcached", "lock-based HT"} {
+		if usesSoftwareStalls(name) {
+			t.Errorf("%s should not use software stalls", name)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package fit
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a least-squares system is too ill-conditioned
+// to solve reliably.
+var ErrSingular = errors.New("fit: singular or ill-conditioned system")
+
+// ErrBadInput is returned for empty or mismatched inputs.
+var ErrBadInput = errors.New("fit: bad input lengths")
+
+// LinearLSQ solves min ||A p - y||^2 where row i of A is basis(xs[i]) and
+// the system has nParams unknowns. It forms the normal equations with a tiny
+// Tikhonov ridge for numerical stability and solves them by Gaussian
+// elimination with partial pivoting. The ridge magnitude is proportional to
+// the trace of AᵀA, so well-posed systems are essentially unaffected.
+func LinearLSQ(xs, ys []float64, basis func(float64) []float64, nParams int) ([]float64, error) {
+	if len(xs) != len(ys) || len(xs) == 0 || nParams <= 0 {
+		return nil, ErrBadInput
+	}
+	// Normal equations: (AᵀA) p = Aᵀ y.
+	ata := make([][]float64, nParams)
+	for i := range ata {
+		ata[i] = make([]float64, nParams)
+	}
+	aty := make([]float64, nParams)
+	for i := range xs {
+		row := basis(xs[i])
+		if len(row) != nParams {
+			return nil, ErrBadInput
+		}
+		for j := 0; j < nParams; j++ {
+			aty[j] += row[j] * ys[i]
+			for k := 0; k < nParams; k++ {
+				ata[j][k] += row[j] * row[k]
+			}
+		}
+	}
+	trace := 0.0
+	for j := 0; j < nParams; j++ {
+		trace += ata[j][j]
+	}
+	ridge := 1e-12 * (trace + 1)
+	for j := 0; j < nParams; j++ {
+		ata[j][j] += ridge
+	}
+	return solveLinear(ata, aty)
+}
+
+// solveLinear solves the square system m x = b in place by Gaussian
+// elimination with partial pivoting. m and b are clobbered.
+func solveLinear(m [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		// Pivot: largest absolute value in this column at or below the
+		// diagonal.
+		pivot := col
+		maxAbs := math.Abs(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if a := math.Abs(m[r][col]); a > maxAbs {
+				maxAbs = a
+				pivot = r
+			}
+		}
+		if maxAbs == 0 || math.IsNaN(maxAbs) {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			m[col], m[pivot] = m[pivot], m[col]
+			b[col], b[pivot] = b[pivot], b[col]
+		}
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= m[r][c] * x[c]
+		}
+		x[r] = sum / m[r][r]
+		if math.IsNaN(x[r]) || math.IsInf(x[r], 0) {
+			return nil, ErrSingular
+		}
+	}
+	return x, nil
+}

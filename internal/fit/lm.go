@@ -1,0 +1,170 @@
+package fit
+
+import "math"
+
+// lmOptions tunes the Levenberg–Marquardt solver. The zero value is not
+// usable; use defaultLMOptions.
+type lmOptions struct {
+	MaxIter   int
+	InitDamp  float64
+	TolGrad   float64
+	TolStep   float64
+	TolChiRel float64
+}
+
+func defaultLMOptions() lmOptions {
+	return lmOptions{
+		MaxIter:   200,
+		InitDamp:  1e-3,
+		TolGrad:   1e-12,
+		TolStep:   1e-12,
+		TolChiRel: 1e-12,
+	}
+}
+
+// LevenbergMarquardt minimizes sum_i (f(p, xs[i]) - ys[i])^2 over p starting
+// from start, returning the refined parameters and the final sum of squared
+// residuals. The Jacobian is computed by forward differences. The
+// implementation is the classic damped normal-equations variant: solve
+// (JᵀJ + λ diag(JᵀJ)) δ = -Jᵀr, accept steps that reduce χ², shrinking λ on
+// success and growing it on failure.
+func LevenbergMarquardt(f func(p []float64, x float64) float64, xs, ys, start []float64) ([]float64, float64) {
+	opt := defaultLMOptions()
+	n := len(start)
+	p := append([]float64(nil), start...)
+
+	residuals := func(p []float64) ([]float64, float64) {
+		r := make([]float64, len(xs))
+		chi := 0.0
+		for i := range xs {
+			v := f(p, xs[i])
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, math.Inf(1)
+			}
+			r[i] = v - ys[i]
+			chi += r[i] * r[i]
+		}
+		return r, chi
+	}
+
+	r, chi := residuals(p)
+	if r == nil {
+		return p, chi
+	}
+	lambda := opt.InitDamp
+
+	jac := make([][]float64, len(xs))
+	for i := range jac {
+		jac[i] = make([]float64, n)
+	}
+
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		// Forward-difference Jacobian.
+		for j := 0; j < n; j++ {
+			h := 1e-7 * (math.Abs(p[j]) + 1e-7)
+			pj := p[j]
+			p[j] = pj + h
+			bad := false
+			for i := range xs {
+				v := f(p, xs[i])
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					bad = true
+					break
+				}
+				jac[i][j] = (v - ys[i] - r[i]) / h
+			}
+			p[j] = pj
+			if bad {
+				// Retreat to a one-sided step in the other direction.
+				p[j] = pj - h
+				ok := true
+				for i := range xs {
+					v := f(p, xs[i])
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						ok = false
+						break
+					}
+					jac[i][j] = (r[i] - (v - ys[i])) / h
+				}
+				p[j] = pj
+				if !ok {
+					return p, chi
+				}
+			}
+		}
+
+		// Build JᵀJ and Jᵀr.
+		jtj := make([][]float64, n)
+		for j := range jtj {
+			jtj[j] = make([]float64, n)
+		}
+		jtr := make([]float64, n)
+		for i := range xs {
+			for j := 0; j < n; j++ {
+				jtr[j] += jac[i][j] * r[i]
+				for k := j; k < n; k++ {
+					jtj[j][k] += jac[i][j] * jac[i][k]
+				}
+			}
+		}
+		for j := 0; j < n; j++ {
+			for k := 0; k < j; k++ {
+				jtj[j][k] = jtj[k][j]
+			}
+		}
+
+		gradNorm := 0.0
+		for j := 0; j < n; j++ {
+			gradNorm += jtr[j] * jtr[j]
+		}
+		if math.Sqrt(gradNorm) < opt.TolGrad {
+			break
+		}
+
+		improved := false
+		for attempt := 0; attempt < 12; attempt++ {
+			// Damped system: (JᵀJ + λ diag(JᵀJ) + εI) δ = -Jᵀr.
+			a := make([][]float64, n)
+			b := make([]float64, n)
+			for j := 0; j < n; j++ {
+				a[j] = append([]float64(nil), jtj[j]...)
+				d := jtj[j][j]
+				if d == 0 {
+					d = 1e-12
+				}
+				a[j][j] += lambda*d + 1e-15
+				b[j] = -jtr[j]
+			}
+			delta, err := solveLinear(a, b)
+			if err != nil {
+				lambda *= 10
+				continue
+			}
+			trial := make([]float64, n)
+			stepNorm := 0.0
+			for j := 0; j < n; j++ {
+				trial[j] = p[j] + delta[j]
+				stepNorm += delta[j] * delta[j]
+			}
+			tr, tchi := residuals(trial)
+			if tr != nil && tchi < chi {
+				relDrop := (chi - tchi) / (chi + 1e-300)
+				p, r, chi = trial, tr, tchi
+				lambda = math.Max(lambda*0.3, 1e-12)
+				improved = true
+				if math.Sqrt(stepNorm) < opt.TolStep || relDrop < opt.TolChiRel {
+					return p, chi
+				}
+				break
+			}
+			lambda *= 10
+			if lambda > 1e12 {
+				return p, chi
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return p, chi
+}

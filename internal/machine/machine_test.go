@@ -1,0 +1,113 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, m := range Presets() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestPresetCoreCounts(t *testing.T) {
+	cases := map[string]int{
+		"Haswell": 4,
+		"Opteron": 48,
+		"Xeon20":  20,
+		"Xeon48":  48,
+	}
+	for name, want := range cases {
+		m := ByName(name)
+		if m == nil {
+			t.Fatalf("preset %q missing", name)
+		}
+		if got := m.NumCores(); got != want {
+			t.Errorf("%s cores = %d, want %d", name, got, want)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("unknown machine should be nil")
+	}
+}
+
+func TestOpteronTopology(t *testing.T) {
+	m := Opteron()
+	if m.NumChips() != 8 {
+		t.Errorf("chips = %d, want 8", m.NumChips())
+	}
+	// Cores 0-5 on chip 0, 6-11 on chip 1, both on socket 0.
+	if m.Chip(0) != 0 || m.Chip(5) != 0 || m.Chip(6) != 1 || m.Chip(11) != 1 {
+		t.Error("chip mapping wrong")
+	}
+	if m.Socket(0) != 0 || m.Socket(11) != 0 || m.Socket(12) != 1 || m.Socket(47) != 3 {
+		t.Error("socket mapping wrong")
+	}
+	// NUMA inside a socket: chip 0 vs chip 1 of socket 0.
+	if d := m.Distance(0, 6); d != 1 {
+		t.Errorf("cross-chip same-socket distance = %d, want 1", d)
+	}
+	if d := m.Distance(0, 5); d != 0 {
+		t.Errorf("same-chip distance = %d, want 0", d)
+	}
+	if d := m.Distance(0, 12); d != 2 {
+		t.Errorf("cross-socket distance = %d, want 2", d)
+	}
+}
+
+func TestXeon20NoIntraSocketNUMA(t *testing.T) {
+	m := Xeon20()
+	// All cores of socket 0 share one chip: distance 0 inside the socket.
+	for c := 1; c < 10; c++ {
+		if d := m.Distance(0, c); d != 0 {
+			t.Errorf("distance(0,%d) = %d, want 0", c, d)
+		}
+	}
+	if d := m.Distance(0, 10); d != 2 {
+		t.Errorf("cross-socket distance = %d, want 2", d)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	m := Opteron()
+	n := m.NumCores()
+	f := func(a, b uint8) bool {
+		x, y := int(a)%n, int(b)%n
+		d := m.Distance(x, y)
+		if d != m.Distance(y, x) {
+			return false // symmetry
+		}
+		if x == y && d != 0 {
+			return false // identity
+		}
+		return d >= 0 && d <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	m := Opteron() // 2.1 GHz
+	if got := m.Seconds(2.1e9); got != 1.0 {
+		t.Errorf("Seconds(2.1e9) = %v, want 1", got)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	bad := []*Config{
+		{Name: "a", Arch: AMD, Sockets: 0, ChipsPerSocket: 1, CoresPerChip: 1, FreqGHz: 1, L1Lines: 1, L2Lines: 1, LLCLines: 1, MemBWLinesPerCycle: 1},
+		{Name: "b", Arch: AMD, Sockets: 1, ChipsPerSocket: 1, CoresPerChip: 1, FreqGHz: 0, L1Lines: 1, L2Lines: 1, LLCLines: 1, MemBWLinesPerCycle: 1},
+		{Name: "c", Arch: AMD, Sockets: 1, ChipsPerSocket: 1, CoresPerChip: 1, FreqGHz: 1, L1Lines: 0, L2Lines: 1, LLCLines: 1, MemBWLinesPerCycle: 1},
+		{Name: "d", Arch: AMD, Sockets: 1, ChipsPerSocket: 1, CoresPerChip: 1, FreqGHz: 1, L1Lines: 1, L2Lines: 1, LLCLines: 1, MemBWLinesPerCycle: 0},
+		{Name: "e", Arch: "sparc", Sockets: 1, ChipsPerSocket: 1, CoresPerChip: 1, FreqGHz: 1, L1Lines: 1, L2Lines: 1, LLCLines: 1, MemBWLinesPerCycle: 1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %q should fail validation", c.Name)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package perfcol implements the paper's actual collection mechanism: run
+// the application under `perf stat` with the architecture's backend
+// stalled-cycle events and parse the machine-readable output into a
+// counters.Sample. The command execution sits behind a Runner interface so
+// the parser and event plumbing are fully testable (and usable) on machines
+// without PMU access — the simulator provides the default collector in this
+// repository, and perfcol is the drop-in for real hardware.
+package perfcol
+
+import (
+	"fmt"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/counters"
+	"repro/internal/machine"
+)
+
+// Runner executes a command line and returns its combined output. The
+// production implementation shells out; tests substitute canned output.
+type Runner interface {
+	Run(name string, args ...string) (output string, err error)
+}
+
+// ExecRunner runs commands with os/exec.
+type ExecRunner struct{}
+
+// Run implements Runner.
+func (ExecRunner) Run(name string, args ...string) (string, error) {
+	out, err := exec.Command(name, args...).CombinedOutput()
+	return string(out), err
+}
+
+// Collector collects one Sample per application run via perf stat.
+type Collector struct {
+	// Machine describes the measurement machine (selects the event table
+	// and converts seconds to cycles).
+	Machine *machine.Config
+	// Runner executes the perf command; nil means ExecRunner.
+	Runner Runner
+	// Plugins are additional software stall categories extracted from the
+	// application's output (paper §4.1).
+	Plugins []counters.PluginSpec
+}
+
+// perfEvents renders the perf -e argument for the machine's backend events.
+// Event codes like "0D5h" become raw PMU specs; real deployments would map
+// them to named events per perf's event tables, which is a presentation
+// detail the parser does not depend on.
+func perfEvents(arch machine.Arch) []string {
+	var evs []string
+	for _, e := range counters.BackendEvents(arch) {
+		evs = append(evs, "r"+strings.TrimSuffix(e.Code, "h"))
+	}
+	return evs
+}
+
+// eventForRaw maps a raw perf event spec back to the event code.
+func eventForRaw(arch machine.Arch, raw string) (string, bool) {
+	raw = strings.TrimPrefix(raw, "r")
+	for _, e := range counters.BackendEvents(arch) {
+		if strings.TrimSuffix(e.Code, "h") == raw {
+			return e.Code, true
+		}
+	}
+	return "", false
+}
+
+// Collect runs the command pinned to the given number of cores under
+// perf stat and returns the sample.
+func (c *Collector) Collect(cores int, command string, args ...string) (counters.Sample, error) {
+	if c.Machine == nil {
+		return counters.Sample{}, fmt.Errorf("perfcol: no machine configured")
+	}
+	if cores < 1 || cores > c.Machine.NumCores() {
+		return counters.Sample{}, fmt.Errorf("perfcol: %d cores out of range", cores)
+	}
+	runner := c.Runner
+	if runner == nil {
+		runner = ExecRunner{}
+	}
+	perfArgs := []string{"stat", "-x", ",", "-a"}
+	for _, e := range perfEvents(c.Machine.Arch) {
+		perfArgs = append(perfArgs, "-e", e)
+	}
+	// ESTIMA fills sockets first (§4.1); taskset pins to cores 0..n-1.
+	perfArgs = append(perfArgs, "taskset", "-c", fmt.Sprintf("0-%d", cores-1), command)
+	perfArgs = append(perfArgs, args...)
+
+	start := time.Now()
+	out, err := runner.Run("perf", perfArgs...)
+	elapsed := time.Since(start).Seconds()
+	if err != nil {
+		return counters.Sample{}, fmt.Errorf("perfcol: perf stat: %w", err)
+	}
+	sample, err := c.parse(out, cores)
+	if err != nil {
+		return counters.Sample{}, err
+	}
+	if sample.Seconds == 0 {
+		sample.Seconds = elapsed
+		sample.Cycles = elapsed * c.Machine.FreqGHz * 1e9
+	}
+	for _, p := range c.Plugins {
+		v, err := p.Extract(out)
+		if err != nil {
+			return counters.Sample{}, fmt.Errorf("perfcol: plugin %s: %w", p.Name, err)
+		}
+		sample.Soft[p.Name] = v
+	}
+	return sample, nil
+}
+
+// parse decodes `perf stat -x,` CSV output: value,unit,event,... lines plus
+// an optional "seconds time elapsed" line. Unsupported or not-counted
+// events ("<not counted>") are rejected.
+func (c *Collector) parse(out string, cores int) (counters.Sample, error) {
+	sample := counters.Sample{
+		Cores: cores,
+		HW:    map[string]float64{},
+		Soft:  map[string]float64{},
+	}
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) < 3 {
+			// Not a counter line (application output interleaves).
+			continue
+		}
+		raw := strings.TrimSpace(fields[2])
+		code, ok := eventForRaw(c.Machine.Arch, raw)
+		if !ok {
+			if raw == "seconds" || strings.Contains(line, "time elapsed") {
+				if v, err := strconv.ParseFloat(fields[0], 64); err == nil {
+					sample.Seconds = v
+					sample.Cycles = v * c.Machine.FreqGHz * 1e9
+				}
+			}
+			continue
+		}
+		valStr := strings.TrimSpace(fields[0])
+		if valStr == "<not counted>" || valStr == "<not supported>" {
+			return sample, fmt.Errorf("perfcol: event %s not counted", code)
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return sample, fmt.Errorf("perfcol: bad value %q for %s: %w", valStr, code, err)
+		}
+		sample.HW[code] = v
+	}
+	if len(sample.HW) == 0 {
+		return sample, fmt.Errorf("perfcol: no backend events found in perf output")
+	}
+	return sample, nil
+}
+
+// Available reports whether perf appears usable on this host.
+func Available() bool {
+	_, err := exec.LookPath("perf")
+	return err == nil
+}

@@ -1,0 +1,144 @@
+package perfcol
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/counters"
+	"repro/internal/machine"
+)
+
+// fakeRunner returns canned perf output and records the invocation.
+type fakeRunner struct {
+	output string
+	err    error
+	name   string
+	args   []string
+}
+
+func (f *fakeRunner) Run(name string, args ...string) (string, error) {
+	f.name = name
+	f.args = args
+	return f.output, f.err
+}
+
+const amdPerfOutput = `app: starting
+123456789,,r0D2,1.0,100.0,,
+234567890,,r0D5,1.0,100.0,,
+345678901,,r0D6,1.0,100.0,,
+45678901,,r0D7,1.0,100.0,,
+567890123,,r0D8,1.0,100.0,,
+2.345678,,seconds,,,,
+swisstm: aborted_tx_cycles=998877
+`
+
+func TestCollectParsesAMDEvents(t *testing.T) {
+	fr := &fakeRunner{output: amdPerfOutput}
+	c := &Collector{
+		Machine: machine.Opteron(),
+		Runner:  fr,
+		Plugins: []counters.PluginSpec{
+			{Name: counters.SoftTxAborted, Pattern: `aborted_tx_cycles=([0-9]+)`},
+		},
+	}
+	s, err := c.Collect(4, "./app", "-threads", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cores != 4 {
+		t.Errorf("cores = %d", s.Cores)
+	}
+	if s.HW["0D2h"] != 123456789 || s.HW["0D8h"] != 567890123 {
+		t.Errorf("HW = %v", s.HW)
+	}
+	if s.Seconds != 2.345678 {
+		t.Errorf("seconds = %v", s.Seconds)
+	}
+	if s.Soft[counters.SoftTxAborted] != 998877 {
+		t.Errorf("soft = %v", s.Soft)
+	}
+	if fr.name != "perf" {
+		t.Errorf("ran %q", fr.name)
+	}
+	joined := strings.Join(fr.args, " ")
+	if !strings.Contains(joined, "taskset -c 0-3 ./app") {
+		t.Errorf("pinning missing: %v", joined)
+	}
+	for _, ev := range []string{"r0D2", "r0D5", "r0D6", "r0D7", "r0D8"} {
+		if !strings.Contains(joined, ev) {
+			t.Errorf("event %s missing from args %q", ev, joined)
+		}
+	}
+}
+
+func TestCollectRejectsNotCounted(t *testing.T) {
+	out := strings.Replace(amdPerfOutput, "234567890", "<not counted>", 1)
+	c := &Collector{Machine: machine.Opteron(), Runner: &fakeRunner{output: out}}
+	if _, err := c.Collect(2, "./app"); err == nil {
+		t.Error("not-counted event should error")
+	}
+}
+
+func TestCollectRejectsGarbage(t *testing.T) {
+	c := &Collector{Machine: machine.Opteron(), Runner: &fakeRunner{output: "no counters here"}}
+	if _, err := c.Collect(2, "./app"); err == nil {
+		t.Error("missing events should error")
+	}
+	bad := strings.Replace(amdPerfOutput, "123456789", "oops", 1)
+	c = &Collector{Machine: machine.Opteron(), Runner: &fakeRunner{output: bad}}
+	if _, err := c.Collect(2, "./app"); err == nil {
+		t.Error("unparsable value should error")
+	}
+}
+
+func TestCollectPropagatesRunError(t *testing.T) {
+	c := &Collector{Machine: machine.Opteron(), Runner: &fakeRunner{err: fmt.Errorf("no perf")}}
+	if _, err := c.Collect(2, "./app"); err == nil {
+		t.Error("runner error should propagate")
+	}
+}
+
+func TestCollectValidatesInput(t *testing.T) {
+	c := &Collector{Machine: machine.Opteron(), Runner: &fakeRunner{output: amdPerfOutput}}
+	if _, err := c.Collect(0, "./app"); err == nil {
+		t.Error("0 cores should error")
+	}
+	if _, err := c.Collect(49, "./app"); err == nil {
+		t.Error("49 cores should error")
+	}
+	c.Machine = nil
+	if _, err := c.Collect(1, "./app"); err == nil {
+		t.Error("nil machine should error")
+	}
+}
+
+func TestCollectFailingPlugin(t *testing.T) {
+	c := &Collector{
+		Machine: machine.Opteron(),
+		Runner:  &fakeRunner{output: amdPerfOutput},
+		Plugins: []counters.PluginSpec{{Name: "x", Pattern: `missing=([0-9]+)`}},
+	}
+	if _, err := c.Collect(2, "./app"); err == nil {
+		t.Error("non-matching plugin should error")
+	}
+}
+
+func TestIntelEventList(t *testing.T) {
+	evs := perfEvents(machine.Intel)
+	want := []string{"r0487", "r01A2", "r04A2", "r08A2", "r10A2"}
+	if len(evs) != len(want) {
+		t.Fatalf("events = %v", evs)
+	}
+	for i := range want {
+		if evs[i] != want[i] {
+			t.Errorf("event %d = %s, want %s", i, evs[i], want[i])
+		}
+	}
+	if _, ok := eventForRaw(machine.Intel, "r0487"); !ok {
+		t.Error("roundtrip failed")
+	}
+	if _, ok := eventForRaw(machine.Intel, "r9999"); ok {
+		t.Error("unknown raw event matched")
+	}
+}

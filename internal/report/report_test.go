@@ -1,0 +1,63 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Headers: []string{"name", "value"},
+	}
+	tbl.AddRow("alpha", 1.5)
+	tbl.AddRow("beta-longer", 123456.789)
+	out := tbl.Render()
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta-longer") {
+		t.Error("rows missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, separator, two rows.
+	if len(lines) != 5 {
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: both data rows have the same width.
+	if len(lines[3]) != len(lines[4]) {
+		t.Errorf("misaligned rows:\n%q\n%q", lines[3], lines[4])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{Headers: []string{"a", "b"}}
+	tbl.AddRow(1, 2)
+	tbl.AddRow("x", 3.5)
+	csv := tbl.CSV()
+	want := "a,b\n1,2\nx,3.5\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(12.345) != "12.3" {
+		t.Errorf("Pct = %q", Pct(12.345))
+	}
+	if Sec(0.0012345) != "0.001234" && Sec(0.0012345) != "0.001235" {
+		t.Errorf("Sec = %q", Sec(0.0012345))
+	}
+}
+
+func TestRenderWithoutHeaders(t *testing.T) {
+	tbl := &Table{}
+	tbl.AddRow("only", "row")
+	out := tbl.Render()
+	if strings.Contains(out, "---") {
+		t.Error("separator without headers")
+	}
+	if !strings.Contains(out, "only") {
+		t.Error("row missing")
+	}
+}

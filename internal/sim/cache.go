@@ -1,0 +1,103 @@
+package sim
+
+// cacheArray is a direct-mapped tag array used for the private L1/L2 caches
+// and the shared per-chip LLC. Each entry remembers the coherence version it
+// cached; a probe with a newer version is a coherence miss even if the tag
+// matches, which is how remote writes invalidate local copies without an
+// explicit invalidation walk.
+type cacheArray struct {
+	tags []uint64
+	vers []uint32
+}
+
+func newCacheArray(n int) *cacheArray {
+	if n <= 0 {
+		n = 1
+	}
+	return &cacheArray{
+		tags: make([]uint64, n),
+		vers: make([]uint32, n),
+	}
+}
+
+// probe reports whether the cache holds line at the given coherence version.
+func (c *cacheArray) probe(line uint64, ver uint32) bool {
+	i := line % uint64(len(c.tags))
+	return c.tags[i] == line && c.vers[i] >= ver
+}
+
+// fill installs line at the given version, evicting whatever occupied the
+// slot (direct-mapped).
+func (c *cacheArray) fill(line uint64, ver uint32) {
+	i := line % uint64(len(c.tags))
+	c.tags[i] = line
+	c.vers[i] = ver
+}
+
+// dirEntry is the coherence-directory state of one shared cache line.
+type dirEntry struct {
+	// writer is the core whose cache holds the line dirty (-1 if clean).
+	writer int16
+	// lockOwner is the STM thread holding the line's eager write lock
+	// (-1 when unlocked).
+	lockOwner int16
+	// version counts committed writes; caches remember the version they
+	// filled at, so bumping it invalidates every cached copy.
+	version uint32
+	// sharers is a bitmap of cores that have read the line since the last
+	// write (the machines modelled have ≤ 64 cores).
+	sharers uint64
+}
+
+// socketBW is a leaky-bucket model of one socket's memory controller: the
+// queue level drains at the controller's service rate and every DRAM access
+// adds one line. The delay an access sees is the queue ahead of it. Time is
+// taken from the accessing thread's own clock; because scheduler batching
+// lets thread clocks diverge by up to one quantum, the bucket only drains on
+// forward time steps and never charges a thread for another thread's
+// future.
+type socketBW struct {
+	level    float64
+	lastTime int64
+}
+
+// enqueue records one line of demand at the given thread-local time and
+// returns the queueing delay in cycles. bw is the service rate in
+// lines/cycle, serv the per-line service time in cycles.
+func (s *socketBW) enqueue(now int64, bw, serv float64) float64 {
+	if dt := now - s.lastTime; dt > 0 {
+		s.level -= float64(dt) * bw
+		if s.level < 0 {
+			s.level = 0
+		}
+		s.lastTime = now
+	}
+	delay := s.level * serv
+	s.level++
+	return delay
+}
+
+// directory tracks the coherence and STM state of shared lines. Private
+// regions never enter the directory.
+type directory struct {
+	m map[uint64]*dirEntry
+}
+
+func newDirectory() *directory {
+	return &directory{m: make(map[uint64]*dirEntry, 1<<16)}
+}
+
+// entry returns the directory entry for line, creating it on first touch.
+func (d *directory) entry(line uint64) *dirEntry {
+	e := d.m[line]
+	if e == nil {
+		e = &dirEntry{writer: -1, lockOwner: -1}
+		d.m[line] = e
+	}
+	return e
+}
+
+// lookup returns the entry if present, without creating one.
+func (d *directory) lookup(line uint64) *dirEntry {
+	return d.m[line]
+}

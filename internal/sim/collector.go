@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/counters"
+	"repro/internal/machine"
+)
+
+// Workload is implemented by every benchmark in internal/workloads. Build
+// constructs the per-thread programs for one run: the builder carries the
+// machine, thread count and dataset scale.
+type Workload interface {
+	// Name is the benchmark's name as it appears in the paper's tables.
+	Name() string
+	// Build appends the run's programs, locks, barriers and heap regions.
+	Build(b *Builder)
+}
+
+// Collect executes one measurement run: the workload on the machine with
+// the given number of cores and dataset scale. It is the simulated
+// equivalent of "run the application under perf stat once" and is
+// deterministic in all its arguments.
+func Collect(w Workload, mach *machine.Config, cores int, scale float64) (counters.Sample, error) {
+	if cores < 1 || cores > mach.NumCores() {
+		return counters.Sample{}, fmt.Errorf("sim: %d cores out of range for %s (max %d)", cores, mach.Name, mach.NumCores())
+	}
+	seed := hashString(w.Name()) ^ hashString(mach.Name) ^ (uint64(cores) * 0x9e3779b97f4a7c15) ^ uint64(scale*1000)
+	b := NewBuilder(mach, cores, scale, seed)
+	w.Build(b)
+	return Run(b), nil
+}
+
+// CollectSeries measures the workload at every core count in coreCounts,
+// returning the Series the extrapolation pipeline consumes.
+func CollectSeries(w Workload, mach *machine.Config, coreCounts []int, scale float64) (*counters.Series, error) {
+	s := &counters.Series{Workload: w.Name(), Machine: mach.Name}
+	for _, c := range coreCounts {
+		smp, err := Collect(w, mach, c, scale)
+		if err != nil {
+			return nil, err
+		}
+		s.Samples = append(s.Samples, smp)
+	}
+	s.Sort()
+	return s, nil
+}
+
+// CoreRange returns 1..max, the exhaustive measurement schedule used
+// throughout the evaluation.
+func CoreRange(max int) []int {
+	out := make([]int, max)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}

@@ -1,0 +1,644 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/counters"
+	"repro/internal/machine"
+)
+
+// Soft stall indexes used by the engine's per-thread tallies. They map onto
+// the counters package's software category names.
+const (
+	softLockSpin = iota
+	softBarrierWait
+	softTxAborted
+	softTxBackoff
+	numSoft
+)
+
+var softNames = [numSoft]string{
+	counters.SoftLockSpin,
+	counters.SoftBarrierWait,
+	counters.SoftTxAborted,
+	counters.SoftTxBackoff,
+}
+
+// Tunables of the engine's cost model. They are engine-wide constants (not
+// per-machine) because they model microarchitectural mechanisms that are
+// broadly similar across the paper's x86 machines.
+const (
+	// opBatch and quantum bound how far a thread may run ahead of the
+	// global minimum clock between scheduler events. Synchronization
+	// operations always execute at the global minimum, so lock, barrier
+	// and transaction ordering is exact; plain memory operations may
+	// reorder within one quantum.
+	opBatch = 128
+	quantum = 4000
+
+	// seqMLP and randMLP divide DRAM latency to model memory-level
+	// parallelism and prefetching for sequential vs pointer-chasing runs.
+	seqMLP  = 4
+	randMLP = 2
+
+	// storeBufEntries is the store-buffer depth; longer store streaks pay
+	// store-buffer-full stalls.
+	storeBufEntries = 10
+	storeBufStall   = 3
+
+	// txPerReadValidate and txCommitBase are commit-time costs in cycles.
+	txPerReadValidate = 3
+	txCommitBase      = 30
+	txPerWriteCommit  = 8
+	// txRollbackBase/txPerWriteRollback: an aborting transaction holds its
+	// write locks while it rolls back. This dead time sits on the critical
+	// path of hot-line ownership chains (work queues, k-means
+	// accumulators), which is what turns "stops scaling" into "slows
+	// down" at high core counts.
+	txRollbackBase     = 60
+	txPerWriteRollback = 20
+	// txBackoffBase seeds the bounded linear backoff after an abort: the
+	// retry delay grows with the attempt count up to txBackoffCap steps,
+	// with proportional jitter to break the phase lock of symmetric
+	// threads (SwissTM-style contention management).
+	txBackoffBase = 100
+	txBackoffCap  = 8
+
+	// spinHWFraction is the share of spin-wait time that shows up in
+	// hardware LS stalls (coherence traffic of the spinning loads). Futex
+	// sleeps leave no hardware trace, matching the paper's observation
+	// that hardware counters alone miss lock/barrier bottlenecks (§5.3).
+	spinHWFraction = 0.25
+
+	// snoopServCycles is the service time of one coherence transaction
+	// (cache-to-cache transfer or invalidation round) at the machine's
+	// snoop/interconnect arbiter. When hot-line traffic — retry storms on
+	// a work queue, k-means accumulator pile-ups — exceeds the arbiter's
+	// capacity, transfers queue and the owners' handoff chain slows down,
+	// producing the measured slowdowns (not mere plateaus) of intruder,
+	// kmeans and yada at high core counts.
+	snoopServCycles = 5.0
+	snoopRate       = 1.0 / snoopServCycles
+)
+
+type waiter struct {
+	thread  int
+	arrival int64
+}
+
+type lockState struct {
+	kind    LockKind
+	holder  int
+	line    uint64
+	waiters []waiter
+}
+
+type barrierState struct {
+	kind    BarrierKind
+	line    uint64
+	arrived []waiter
+}
+
+type readEntry struct {
+	line uint64
+	ver  uint32
+}
+
+type threadState struct {
+	id    int
+	clock int64
+	ip    int
+	prog  Program
+	done  bool
+
+	l1, l2 *cacheArray
+
+	// Transaction state.
+	inTx         bool
+	txStartIP    int
+	txStartClock int64
+	txAttempts   int
+	readSet      []readEntry
+	writeSet     []uint64
+
+	storeStreak int
+
+	useful   float64
+	frontend float64
+	stalls   [counters.NumSources]float64
+	soft     [numSoft]float64
+
+	rng rng
+}
+
+// threadHeap orders runnable threads by clock, then id (determinism).
+type threadHeap struct {
+	items []*threadState
+}
+
+func (h *threadHeap) Len() int { return len(h.items) }
+func (h *threadHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.clock != b.clock {
+		return a.clock < b.clock
+	}
+	return a.id < b.id
+}
+func (h *threadHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *threadHeap) Push(x any)    { h.items = append(h.items, x.(*threadState)) }
+func (h *threadHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+
+// Engine executes one run of a built workload on a machine.
+type Engine struct {
+	mach     *machine.Config
+	b        *Builder
+	threads  []*threadState
+	runq     threadHeap
+	locks    []lockState
+	barriers []barrierState
+	dir      *directory
+	llc      []*cacheArray
+	chipBW   []socketBW // per-chip memory-controller queues
+	snoopBW  socketBW   // machine-wide coherence arbiter queue
+	sockServ float64    // cycles per line of DRAM service
+
+	siteHW   [][counters.NumSources]float64
+	siteSoft [][numSoft]float64
+	siteName []string
+}
+
+// newEngine wires the machine model around the built programs.
+func newEngine(b *Builder) *Engine {
+	m := b.Mach
+	e := &Engine{
+		mach:     m,
+		b:        b,
+		dir:      newDirectory(),
+		chipBW:   make([]socketBW, m.NumChips()),
+		sockServ: 1 / m.MemBWLinesPerCycle,
+		siteHW:   make([][counters.NumSources]float64, len(b.sites)),
+		siteSoft: make([][numSoft]float64, len(b.sites)),
+		siteName: b.sites,
+	}
+	for c := 0; c < m.NumChips(); c++ {
+		e.llc = append(e.llc, newCacheArray(m.LLCLines))
+	}
+	lockRegion := b.Heap.Alloc("sim.locks", uint64(len(b.locks)+len(b.barriers)+1)*lineBytes, true, 0)
+	for i, k := range b.locks {
+		e.locks = append(e.locks, lockState{
+			kind: k, holder: -1,
+			line: lockRegion.Addr(uint64(i)*lineBytes) >> 6,
+		})
+	}
+	for i, k := range b.barriers {
+		e.barriers = append(e.barriers, barrierState{
+			kind: k,
+			line: lockRegion.Addr(uint64(len(b.locks)+i)*lineBytes) >> 6,
+		})
+	}
+	for t := 0; t < b.Threads; t++ {
+		ts := &threadState{
+			id:   t,
+			prog: b.progs[t],
+			l1:   newCacheArray(m.L1Lines),
+			l2:   newCacheArray(m.L2Lines),
+			rng:  newRNG(b.rng.state ^ uint64(t)*0x9e3779b97f4a7c15),
+		}
+		e.threads = append(e.threads, ts)
+	}
+	return e
+}
+
+// Run executes the built workload and returns the measurement sample a real
+// ESTIMA collection run would produce: execution time, per-event backend and
+// frontend stall cycles, software stalls, per-site attribution and the
+// memory footprint.
+func Run(b *Builder) counters.Sample {
+	e := newEngine(b)
+	e.run()
+	return e.sample()
+}
+
+func (e *Engine) run() {
+	heap.Init(&e.runq)
+	for _, t := range e.threads {
+		if len(t.prog) == 0 {
+			t.done = true
+			continue
+		}
+		heap.Push(&e.runq, t)
+	}
+	for e.runq.Len() > 0 {
+		t := heap.Pop(&e.runq).(*threadState)
+		e.step(t)
+	}
+	for _, t := range e.threads {
+		if !t.done {
+			panic(fmt.Sprintf("sim: thread %d wedged at ip %d/%d (unbalanced lock or barrier in workload)",
+				t.id, t.ip, len(t.prog)))
+		}
+	}
+}
+
+// batchDone bounds how long a thread runs between scheduler events.
+func (t *threadState) batchDone(start int64, ops int) bool {
+	return ops >= opBatch || t.clock-start >= quantum
+}
+
+// step runs thread t for one scheduling batch. On return the thread has
+// either been re-queued, parked on a lock/barrier, or finished.
+func (e *Engine) step(t *threadState) {
+	start := t.clock
+	ops := 0
+	for {
+		if t.ip >= len(t.prog) {
+			t.done = true
+			return
+		}
+		op := &t.prog[t.ip]
+		// Synchronization operations only execute at the head of a batch,
+		// when this thread holds the global minimum clock, keeping lock,
+		// barrier and transaction ordering exact. OpUnlock is included so
+		// that lock hold intervals are visible to other threads in global
+		// time order — otherwise a critical section that fits inside one
+		// batch would never appear contended. OpTxBegin is included so a
+		// transaction's eager write locks become observable at (almost)
+		// their true acquisition times rather than from the start of a
+		// batch that began long before the transaction did.
+		blocking := op.Kind == OpLock || op.Kind == OpUnlock || op.Kind == OpBarrier ||
+			op.Kind == OpTxBegin || op.Kind == OpTxEnd
+		if blocking && ops > 0 {
+			heap.Push(&e.runq, t)
+			return
+		}
+		switch op.Kind {
+		case OpCompute:
+			e.compute(t, op)
+			t.ip++
+		case OpMem:
+			if aborted := e.memRun(t, op); aborted {
+				// The transaction rewound and backed off; rejoin the run
+				// queue so the retry is ordered against other threads.
+				heap.Push(&e.runq, t)
+				return
+			}
+			t.ip++
+		case OpLock:
+			if !e.lockAcquire(t, op) {
+				return // parked
+			}
+			t.ip++
+		case OpUnlock:
+			e.lockRelease(t, op)
+			t.ip++
+		case OpBarrier:
+			if !e.barrierArrive(t, op) {
+				return // parked
+			}
+			t.ip++
+		case OpTxBegin:
+			t.inTx = true
+			t.txStartIP = t.ip
+			t.txStartClock = t.clock
+			t.readSet = t.readSet[:0]
+			t.writeSet = t.writeSet[:0]
+			t.clock += 8 // tx_start bookkeeping
+			t.useful += 8
+			t.ip++
+		case OpTxEnd:
+			e.txCommit(t, op)
+			// txCommit advances ip (commit) or rewinds it (abort).
+		}
+		ops++
+		if t.batchDone(start, ops) {
+			heap.Push(&e.runq, t)
+			return
+		}
+	}
+}
+
+// compute charges useful cycles plus the flat-rate stall categories tied to
+// instruction execution: branch-abort recovery, FPU saturation for FP-heavy
+// phases, and frontend fetch stalls.
+func (e *Engine) compute(t *threadState, op *Op) {
+	n := float64(op.Count)
+	t.clock += int64(op.Count)
+	t.useful += n
+
+	br := n * e.b.BranchAbortRate
+	e.stall(t, op.Site, counters.SrcBranchAbort, br)
+	if op.FP {
+		fp := n * e.b.FPUPressure
+		e.stall(t, op.Site, counters.SrcFPU, fp)
+	}
+	fe := n * e.b.FrontendRate
+	t.frontend += fe
+	t.clock += int64(br + fe)
+	if op.FP {
+		t.clock += int64(n * e.b.FPUPressure)
+	}
+}
+
+// stall records stalled cycles of one source, attributed to a site.
+func (e *Engine) stall(t *threadState, site uint8, src counters.Source, cycles float64) {
+	if cycles <= 0 {
+		return
+	}
+	t.stalls[src] += cycles
+	if int(site) < len(e.siteHW) {
+		e.siteHW[site][src] += cycles
+	}
+}
+
+// softStall records software stall cycles attributed to a site.
+func (e *Engine) softStall(t *threadState, site uint8, idx int, cycles float64) {
+	if cycles <= 0 {
+		return
+	}
+	t.soft[idx] += cycles
+	if int(site) < len(e.siteSoft) {
+		e.siteSoft[site][idx] += cycles
+	}
+}
+
+// memRun executes a batched run of memory accesses. It reports whether the
+// run was cut short by a transaction abort (in which case the thread's ip
+// has been rewound and must not be advanced).
+func (e *Engine) memRun(t *threadState, op *Op) (aborted bool) {
+	addr := op.Addr
+	sequential := op.Count > 1 && op.Stride != 0 && op.Stride <= 2*lineBytes && op.Stride >= -2*lineBytes
+	for i := uint32(0); i < op.Count; i++ {
+		if aborted := e.access(t, op.Site, addr, op.Write, sequential, true); aborted {
+			return true
+		}
+		addr = uint64(int64(addr) + int64(op.Stride))
+	}
+	return false
+}
+
+// access performs one memory access: cache lookup, coherence, NUMA and
+// bandwidth modelling, stall attribution, and (when stmTrack is set)
+// STM read/write-set tracking. It reports whether the access aborted the
+// thread's current transaction.
+func (e *Engine) access(t *threadState, site uint8, addr uint64, write, sequential, stmTrack bool) (aborted bool) {
+	region := e.b.Heap.Region(addr)
+	if region == nil {
+		// A stray address is a workload bug; treat as private scratch.
+		t.clock++
+		t.useful++
+		return false
+	}
+	line := addr >> 6
+	core := t.id
+	shared := region.Shared
+
+	var de *dirEntry
+	var ver uint32
+	if shared {
+		de = e.dir.entry(line)
+		ver = de.version
+	}
+
+	// STM bookkeeping: eager write locks, versioned read set.
+	if t.inTx && shared && stmTrack {
+		if write {
+			if de.lockOwner >= 0 && int(de.lockOwner) != t.id {
+				e.txAbort(t, site)
+				return true
+			}
+			if de.lockOwner < 0 {
+				de.lockOwner = int16(t.id)
+				t.writeSet = append(t.writeSet, line)
+			}
+		} else if de.lockOwner != int16(t.id) {
+			t.readSet = append(t.readSet, readEntry{line, ver})
+		}
+	}
+
+	// One issue cycle of useful work per access.
+	t.clock++
+	t.useful++
+
+	// Store streak → store-buffer pressure.
+	if write {
+		t.storeStreak++
+		if t.storeStreak > storeBufEntries {
+			e.stall(t, site, counters.SrcStoreBuf, storeBufStall)
+			t.clock += storeBufStall
+		}
+	} else if t.storeStreak > 0 {
+		t.storeStreak--
+	}
+
+	// Cache hierarchy walk.
+	chip := e.mach.Chip(core)
+	switch {
+	case t.l1.probe(line, ver):
+		// L1 hit: fully pipelined.
+	case t.l2.probe(line, ver):
+		e.stall(t, site, counters.SrcRS, float64(e.mach.L2Lat))
+		t.clock += e.mach.L2Lat
+		t.l1.fill(line, ver)
+	case e.llc[chip].probe(line, ver):
+		e.stall(t, site, counters.SrcRS, float64(e.mach.LLCLat))
+		t.clock += e.mach.LLCLat
+		t.l1.fill(line, ver)
+		t.l2.fill(line, ver)
+	default:
+		e.dramAccess(t, site, line, ver, region, write, sequential, de)
+	}
+
+	// Coherence beyond the hierarchy walk. Writes inside a transaction do
+	// not publish a new version until commit (write-back STM), but they do
+	// move the line into this core's cache.
+	if shared {
+		if write {
+			// Upgrades/RFO: invalidate other sharers. The cost grows with
+			// the sharer count — a widely shared hot line (a lock word, a
+			// work-queue head, a k-means accumulator) pays a larger
+			// invalidation round every write, which is what makes hot-line
+			// workloads degrade (not just flatten) at high core counts.
+			others := de.sharers &^ (1 << uint(core))
+			if others != 0 || (de.writer >= 0 && int(de.writer) != core) {
+				d := e.maxSharerDistance(core, de)
+				fanout := 1 + float64(bits.OnesCount64(others))/12
+				inv := float64(e.mach.C2CLat[d])/2*fanout + e.snoop(t.clock)
+				e.stall(t, site, counters.SrcLS, inv)
+				t.clock += int64(inv)
+			}
+			if t.inTx && stmTrack {
+				// Version bumps at commit; cache the current version.
+				de.sharers = 1 << uint(core)
+				de.writer = int16(core)
+			} else {
+				de.version++
+				de.sharers = 1 << uint(core)
+				de.writer = int16(core)
+				ver = de.version
+			}
+		} else {
+			if de.writer >= 0 && int(de.writer) != core {
+				// Dirty in another cache: cache-to-cache transfer.
+				d := e.mach.Distance(core, int(de.writer))
+				c2c := float64(e.mach.C2CLat[d]) + e.snoop(t.clock)
+				e.stall(t, site, counters.SrcLS, c2c)
+				t.clock += int64(c2c)
+				de.writer = -1
+			}
+			de.sharers |= 1 << uint(core)
+		}
+	}
+	t.l1.fill(line, ver)
+	t.l2.fill(line, ver)
+	e.llc[chip].fill(line, ver)
+	return false
+}
+
+// snoop charges one coherence transaction to the machine-wide arbiter and
+// returns the queueing delay it sees.
+func (e *Engine) snoop(now int64) float64 {
+	return e.snoopBW.enqueue(now, snoopRate, snoopServCycles)
+}
+
+// dramAccess models an LLC miss: NUMA latency to the region's home memory
+// plus bandwidth queueing at the home socket's memory controller.
+func (e *Engine) dramAccess(t *threadState, site uint8, line uint64, ver uint32, region *Region, write, sequential bool, de *dirEntry) {
+	core := t.id
+	homeChip := region.HomeChip
+	if homeChip == Interleaved {
+		// First-touch placement: the dataset's pages are spread across the
+		// memory controllers of the sockets whose cores use them.
+		perSocket := e.mach.CoresPerChip * e.mach.ChipsPerSocket
+		sockets := (len(e.threads) + perSocket - 1) / perSocket
+		active := sockets * e.mach.ChipsPerSocket
+		homeChip = int(line % uint64(active))
+	}
+	homeCore := homeChip * e.mach.CoresPerChip
+	if homeCore >= e.mach.NumCores() {
+		homeCore = 0
+	}
+	dist := e.mach.Distance(core, homeCore)
+	lat := float64(e.mach.MemLat[dist])
+
+	// Bandwidth queueing at the home chip's memory controller.
+	qdelay := e.chipBW[homeChip].enqueue(t.clock, e.mach.MemBWLinesPerCycle, e.sockServ)
+
+	mlp := float64(randMLP)
+	if sequential {
+		mlp = seqMLP
+	}
+	visible := lat/mlp + qdelay
+	if write {
+		half := visible / 2
+		e.stall(t, site, counters.SrcStoreBuf, half)
+		e.stall(t, site, counters.SrcROB, visible-half)
+	} else {
+		e.stall(t, site, counters.SrcROB, visible)
+	}
+	t.clock += int64(visible)
+}
+
+// maxSharerDistance returns the largest NUMA distance from core to any
+// other sharer of the line (the cost driver of an invalidation round).
+func (e *Engine) maxSharerDistance(core int, de *dirEntry) int {
+	maxD := 0
+	sharers := de.sharers &^ (1 << uint(core))
+	for c := 0; sharers != 0 && c < 64; c++ {
+		if sharers&(1<<uint(c)) != 0 {
+			if c < e.mach.NumCores() {
+				if d := e.mach.Distance(core, c); d > maxD {
+					maxD = d
+				}
+			}
+			sharers &^= 1 << uint(c)
+		}
+	}
+	if de.writer >= 0 && int(de.writer) != core {
+		if d := e.mach.Distance(core, int(de.writer)); d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// sample assembles the run's counters.Sample.
+func (e *Engine) sample() counters.Sample {
+	m := e.mach
+	var maxClock int64
+	var useful, frontend float64
+	var stalls [counters.NumSources]float64
+	var soft [numSoft]float64
+	for _, t := range e.threads {
+		if t.clock > maxClock {
+			maxClock = t.clock
+		}
+		useful += t.useful
+		frontend += t.frontend
+		for s := 0; s < int(counters.NumSources); s++ {
+			stalls[s] += t.stalls[s]
+		}
+		for s := 0; s < numSoft; s++ {
+			soft[s] += t.soft[s]
+		}
+	}
+
+	hw := map[string]float64{}
+	sites := map[string]map[string]float64{}
+	events := counters.BackendEvents(m.Arch)
+	for _, ev := range events {
+		total := 0.0
+		for _, src := range ev.Sources {
+			total += stalls[src]
+		}
+		hw[ev.Code] = total
+	}
+	fe := map[string]float64{}
+	for _, ev := range counters.FrontendEvents(m.Arch) {
+		fe[ev.Code] = frontend
+	}
+	softM := map[string]float64{}
+	for i, name := range softNames {
+		softM[name] = soft[i]
+	}
+
+	for si, name := range e.siteName {
+		per := map[string]float64{}
+		for _, ev := range events {
+			total := 0.0
+			for _, src := range ev.Sources {
+				total += e.siteHW[si][src]
+			}
+			if total > 0 {
+				per[ev.Code] = total
+			}
+		}
+		for i, sname := range softNames {
+			if v := e.siteSoft[si][i]; v > 0 {
+				per[sname] = v
+			}
+		}
+		if len(per) > 0 {
+			sites[name] = per
+		}
+	}
+
+	return counters.Sample{
+		Cores:          len(e.threads),
+		Seconds:        m.Seconds(float64(maxClock)),
+		Cycles:         float64(maxClock),
+		UsefulCycles:   useful,
+		HW:             hw,
+		Frontend:       fe,
+		Soft:           softM,
+		Sites:          sites,
+		FootprintBytes: e.b.Heap.Footprint(),
+	}
+}

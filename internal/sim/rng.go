@@ -1,0 +1,52 @@
+// Package sim is a deterministic discrete-event multicore simulator. It
+// substitutes for the physical machines of the paper's evaluation: workloads
+// are per-thread operation streams (compute, memory accesses, locks,
+// barriers, software transactions) executed against a model of the machine's
+// cache hierarchy, coherence protocol, NUMA topology, memory bandwidth and
+// synchronization primitives. Every stalled cycle is attributed to one of
+// the internal stall sources of package counters, which project onto the
+// per-architecture performance-counter events of the paper's Tables 2 and 3.
+//
+// The simulator is fully deterministic: the same (workload, machine, cores,
+// scale, seed) always produces the same Sample, which is what makes the
+// repository's experiments reproducible bit for bit.
+package sim
+
+// rng is a splitmix64 PRNG: tiny, fast and deterministic, with independent
+// streams derived by seeding from different values.
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed uint64) rng {
+	return rng{state: seed + 0x9e3779b97f4a7c15}
+}
+
+// next returns the next 64 random bits.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n). n must be positive.
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// float returns a uniform value in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// hashString folds a string into a 64-bit seed (FNV-1a).
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"container/heap"
+
+	"repro/internal/counters"
+)
+
+// lockAcquire attempts to take lock op.ID for thread t. It returns true if
+// the lock was acquired (t continues), or false if t parked on the lock's
+// wait queue. Acquiring touches the lock's cache line through the memory
+// model, so lock words ping between caches like real lock words do.
+func (e *Engine) lockAcquire(t *threadState, op *Op) bool {
+	l := &e.locks[op.ID]
+	// The acquire is a read-modify-write of the lock word. Lock words are
+	// never STM-tracked, even when a lock is taken inside a transaction.
+	e.access(t, op.Site, l.line<<6, true, false, false)
+	if l.holder < 0 {
+		l.holder = t.id
+		cost := e.mach.SpinAcquire
+		if l.kind == LockMutex {
+			cost = e.mach.MutexAcquire
+		}
+		t.clock += cost
+		t.useful += float64(cost)
+		return true
+	}
+	l.waiters = append(l.waiters, waiter{thread: t.id, arrival: t.clock})
+	return false
+}
+
+// lockRelease releases lock op.ID and hands it to the oldest waiter, if any.
+// The waiter's time parked is charged as software lock-spin stall; a
+// fraction of spinlock (not mutex) waiting also surfaces as hardware LS
+// stalls from the coherence traffic of the spin loop.
+func (e *Engine) lockRelease(t *threadState, op *Op) {
+	l := &e.locks[op.ID]
+	// The release is a write of the lock word.
+	e.access(t, op.Site, l.line<<6, true, false, false)
+	now := t.clock
+	if len(l.waiters) == 0 {
+		l.holder = -1
+		return
+	}
+	w := l.waiters[0]
+	l.waiters = l.waiters[1:]
+	next := e.threads[w.thread]
+	handoff := e.mach.SpinHandoff
+	if l.kind == LockMutex {
+		handoff = e.mach.MutexHandoff
+	}
+	resume := now + handoff
+	waited := float64(resume - w.arrival)
+	site := next.prog[next.ip].Site
+	e.softStall(next, site, softLockSpin, waited)
+	if l.kind == LockSpin {
+		e.stall(next, site, counters.SrcLS, waited*spinHWFraction)
+	}
+	l.holder = next.id
+	next.clock = resume
+	uncontended := e.mach.SpinAcquire
+	if l.kind == LockMutex {
+		uncontended = e.mach.MutexAcquire
+	}
+	next.clock += uncontended
+	next.useful += float64(uncontended)
+	next.ip++ // the parked OpLock completes
+	heap.Push(&e.runq, next)
+}
+
+// barrierArrive processes thread t arriving at barrier op.ID. It returns
+// true for the last arriver (which proceeds immediately) and false for
+// earlier arrivers, which park until the last one releases them.
+func (e *Engine) barrierArrive(t *threadState, op *Op) bool {
+	b := &e.barriers[op.ID]
+	// Arrival decrements the barrier counter: a shared RMW.
+	e.access(t, op.Site, b.line<<6, true, false, false)
+	if len(b.arrived)+1 < e.b.Threads {
+		b.arrived = append(b.arrived, waiter{thread: t.id, arrival: t.clock})
+		return false
+	}
+	// Last arriver: release everyone.
+	now := t.clock
+	for i, w := range b.arrived {
+		next := e.threads[w.thread]
+		var resume int64
+		switch b.kind {
+		case BarrierMutex:
+			// pthread condvar broadcast: a serialized wake chain.
+			resume = now + e.mach.MutexHandoff/2*int64(i+1)
+		default:
+			// Spin barrier: all waiters observe the flag flip at
+			// coherence speed, slightly staggered by the line ping.
+			resume = now + e.mach.SpinHandoff + int64(4*i)
+		}
+		waited := float64(resume - w.arrival)
+		site := next.prog[next.ip].Site
+		e.softStall(next, site, softBarrierWait, waited)
+		if b.kind == BarrierSpin {
+			e.stall(next, site, counters.SrcLS, waited*spinHWFraction)
+		}
+		next.clock = resume
+		next.ip++ // the parked OpBarrier completes
+		heap.Push(&e.runq, next)
+	}
+	b.arrived = b.arrived[:0]
+	// The releasing thread pays the broadcast cost.
+	switch b.kind {
+	case BarrierMutex:
+		t.clock += e.mach.MutexAcquire
+		t.useful += float64(e.mach.MutexAcquire)
+	default:
+		t.clock += e.mach.SpinAcquire
+		t.useful += float64(e.mach.SpinAcquire)
+	}
+	return true
+}
+
+// txCommit validates and commits thread t's transaction at OpTxEnd, or
+// aborts and rewinds it.
+func (e *Engine) txCommit(t *threadState, op *Op) {
+	if !t.inTx {
+		// Unmatched TxEnd: treat as a no-op to keep malformed programs
+		// from wedging the engine.
+		t.ip++
+		return
+	}
+	// Validate the read set against current versions.
+	valid := true
+	for _, r := range t.readSet {
+		de := e.dir.lookup(r.line)
+		if de == nil {
+			continue
+		}
+		if de.version != r.ver || (de.lockOwner >= 0 && de.lockOwner != int16(t.id)) {
+			valid = false
+			break
+		}
+	}
+	vcost := int64(len(t.readSet)) * txPerReadValidate
+	t.clock += vcost
+	t.useful += float64(vcost)
+	if !valid {
+		e.txAbort(t, op.Site)
+		return
+	}
+	// Commit: publish write versions and release write locks.
+	ccost := int64(txCommitBase) + int64(len(t.writeSet))*txPerWriteCommit
+	t.clock += ccost
+	t.useful += float64(ccost)
+	for _, line := range t.writeSet {
+		de := e.dir.entry(line)
+		de.version++
+		de.writer = int16(t.id)
+		de.sharers = 1 << uint(t.id)
+		de.lockOwner = -1
+	}
+	t.inTx = false
+	t.txAttempts = 0
+	t.readSet = t.readSet[:0]
+	t.writeSet = t.writeSet[:0]
+	t.ip++
+}
+
+// txAbort rolls thread t's transaction back: the cycles spent inside the
+// transaction are charged as aborted-transaction software stalls (the
+// SwissTM statistic the paper's plugin consumes), write locks are released,
+// and the thread backs off exponentially before re-executing from TxBegin.
+func (e *Engine) txAbort(t *threadState, site uint8) {
+	// Roll back before releasing the write locks: the cleanup time is dead
+	// time during which other writers of the same lines keep aborting.
+	if len(t.writeSet) > 0 {
+		rollback := int64(txRollbackBase) + int64(len(t.writeSet))*txPerWriteRollback
+		t.clock += rollback
+		e.softStall(t, site, softTxAborted, float64(rollback))
+	}
+	duration := float64(t.clock - t.txStartClock)
+	e.softStall(t, site, softTxAborted, duration)
+	for _, line := range t.writeSet {
+		de := e.dir.entry(line)
+		if de.lockOwner == int16(t.id) {
+			de.lockOwner = -1
+		}
+	}
+	t.readSet = t.readSet[:0]
+	t.writeSet = t.writeSet[:0]
+	t.inTx = false
+
+	steps := t.txAttempts + 1
+	if steps > txBackoffCap {
+		steps = txBackoffCap
+	}
+	// Back off for about one transaction length plus jitter: retrying
+	// sooner than the conflicting transaction can commit just re-collides
+	// (the contention-manager policy of SwissTM-style runtimes).
+	span := int64(duration)
+	if span < txBackoffBase {
+		span = txBackoffBase
+	}
+	backoff := span + int64(t.rng.intn(int(span)+txBackoffBase*steps))
+	e.softStall(t, site, softTxBackoff, float64(backoff))
+	t.clock += backoff
+	t.txAttempts++
+	t.ip = t.txStartIP // re-execute from OpTxBegin
+}

@@ -1,0 +1,315 @@
+// Package stm is a word-based software transactional memory for Go in the
+// style of SwissTM/TL2: a global version clock, per-stripe versioned write
+// locks, eager write locking with commit-time read validation, and
+// write-back buffering. It is the "real host" counterpart of the simulator's
+// STM model and exposes the same statistic the paper's plugin mechanism
+// consumes: cycles (nanoseconds here) spent in committed and aborted
+// transactions (§4.1, §5.3).
+//
+// The unit of transactional memory is a slot in a Space: a []uint64 managed
+// by the runtime. Transactions read and write slots through a Tx and retry
+// automatically on conflict.
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// ErrTooManyRetries is returned when a transaction cannot commit after the
+// configured maximum number of attempts.
+var ErrTooManyRetries = errors.New("stm: too many retries")
+
+const (
+	// stripeShift maps slots to lock stripes (64 slots per stripe).
+	stripeShift = 6
+	// lockBit marks a stripe's version word as write-locked.
+	lockBit = uint64(1) << 63
+)
+
+// Space is a transactional array of uint64 slots.
+type Space struct {
+	slots []uint64
+	// locks[i] holds the stripe's version (even, monotonically increasing)
+	// or lockBit|owner while write-locked.
+	locks []atomic.Uint64
+	clock atomic.Uint64
+
+	committedNanos atomic.Int64
+	abortedNanos   atomic.Int64
+	commits        atomic.Int64
+	aborts         atomic.Int64
+}
+
+// NewSpace allocates a transactional space with n slots.
+func NewSpace(n int) *Space {
+	if n <= 0 {
+		n = 1
+	}
+	return &Space{
+		slots: make([]uint64, n),
+		locks: make([]atomic.Uint64, (n>>stripeShift)+1),
+	}
+}
+
+// Len returns the number of slots.
+func (s *Space) Len() int { return len(s.slots) }
+
+// stripe returns the lock stripe of a slot.
+func (s *Space) stripe(slot int) *atomic.Uint64 {
+	return &s.locks[slot>>stripeShift]
+}
+
+// Stats is the SwissTM-style statistics block (§4.1): the runtime reports
+// the duration of committed and aborted transactions, and the plugin layer
+// turns the aborted durations into a software stall category.
+type Stats struct {
+	Commits        int64
+	Aborts         int64
+	CommittedNanos int64
+	AbortedNanos   int64
+}
+
+// Stats returns a snapshot of the space's statistics.
+func (s *Space) Stats() Stats {
+	return Stats{
+		Commits:        s.commits.Load(),
+		Aborts:         s.aborts.Load(),
+		CommittedNanos: s.committedNanos.Load(),
+		AbortedNanos:   s.abortedNanos.Load(),
+	}
+}
+
+// ResetStats zeroes the statistics.
+func (s *Space) ResetStats() {
+	s.commits.Store(0)
+	s.aborts.Store(0)
+	s.committedNanos.Store(0)
+	s.abortedNanos.Store(0)
+}
+
+// Report renders the statistics in the textual form the counters.PluginSpec
+// examples parse.
+func (s *Space) Report() string {
+	st := s.Stats()
+	return fmt.Sprintf("stm: commits=%d aborts=%d committed_tx_cycles=%d aborted_tx_cycles=%d\n",
+		st.Commits, st.Aborts, st.CommittedNanos, st.AbortedNanos)
+}
+
+// writeEntry is a buffered transactional write.
+type writeEntry struct {
+	slot int
+	val  uint64
+}
+
+// readEntry records a validated read.
+type readEntry struct {
+	stripeIdx int
+	version   uint64
+}
+
+// Tx is a running transaction. It is not safe for concurrent use.
+type Tx struct {
+	space    *Space
+	start    uint64
+	reads    []readEntry
+	writes   []writeEntry
+	locked   []int // stripe indexes locked at commit
+	aborted  bool
+	attempts int
+}
+
+// errRetry signals an internal conflict abort.
+var errRetry = errors.New("stm: conflict")
+
+// Atomically runs fn as a transaction against the space, retrying on
+// conflicts with randomized backoff, up to maxAttempts (0 = 64).
+func (s *Space) Atomically(fn func(tx *Tx) error, maxAttempts int) error {
+	if maxAttempts <= 0 {
+		maxAttempts = 64
+	}
+	tx := &Tx{space: s}
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		tx.reset()
+		tx.attempts = attempt
+		begin := time.Now()
+		err := fn(tx)
+		if err == nil {
+			err = tx.commit()
+		}
+		d := time.Since(begin).Nanoseconds()
+		if err == nil {
+			s.commits.Add(1)
+			s.committedNanos.Add(d)
+			return nil
+		}
+		tx.releaseLocks()
+		if !errors.Is(err, errRetry) {
+			return err
+		}
+		s.aborts.Add(1)
+		s.abortedNanos.Add(d)
+		backoff(attempt)
+	}
+	return ErrTooManyRetries
+}
+
+func backoff(attempt int) {
+	if attempt < 2 {
+		runtime.Gosched()
+		return
+	}
+	spins := rand.Intn(1<<min(attempt, 10)) + 1
+	for i := 0; i < spins; i++ {
+		runtime.Gosched()
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (tx *Tx) reset() {
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
+	tx.locked = tx.locked[:0]
+	tx.aborted = false
+	tx.start = tx.space.clock.Load()
+}
+
+// Read returns the value of a slot inside the transaction, observing the
+// transaction's own pending writes.
+func (tx *Tx) Read(slot int) (uint64, error) {
+	if tx.aborted {
+		return 0, errRetry
+	}
+	if slot < 0 || slot >= len(tx.space.slots) {
+		return 0, fmt.Errorf("stm: slot %d out of range", slot)
+	}
+	// Read-own-write.
+	for i := len(tx.writes) - 1; i >= 0; i-- {
+		if tx.writes[i].slot == slot {
+			return tx.writes[i].val, nil
+		}
+	}
+	stripe := tx.space.stripe(slot)
+	v1 := stripe.Load()
+	if v1&lockBit != 0 || v1 > tx.start {
+		tx.aborted = true
+		return 0, errRetry
+	}
+	val := atomic.LoadUint64(&tx.space.slots[slot])
+	v2 := stripe.Load()
+	if v1 != v2 {
+		tx.aborted = true
+		return 0, errRetry
+	}
+	tx.reads = append(tx.reads, readEntry{slot >> stripeShift, v1})
+	return val, nil
+}
+
+// Write buffers a transactional write of a slot.
+func (tx *Tx) Write(slot int, val uint64) error {
+	if tx.aborted {
+		return errRetry
+	}
+	if slot < 0 || slot >= len(tx.space.slots) {
+		return fmt.Errorf("stm: slot %d out of range", slot)
+	}
+	tx.writes = append(tx.writes, writeEntry{slot, val})
+	return nil
+}
+
+// commit locks the write stripes, validates the read set and publishes the
+// writes at a new clock version.
+func (tx *Tx) commit() error {
+	if tx.aborted {
+		return errRetry
+	}
+	if len(tx.writes) == 0 {
+		// Read-only transactions validated on the fly.
+		return nil
+	}
+	// Lock write stripes (sorted to avoid deadlock between committers).
+	stripes := map[int]bool{}
+	for _, w := range tx.writes {
+		stripes[w.slot>>stripeShift] = true
+	}
+	order := make([]int, 0, len(stripes))
+	for idx := range stripes {
+		order = append(order, idx)
+	}
+	sortInts(order)
+	for _, idx := range order {
+		l := &tx.space.locks[idx]
+		v := l.Load()
+		if v&lockBit != 0 || !l.CompareAndSwap(v, v|lockBit) {
+			return errRetry
+		}
+		tx.locked = append(tx.locked, idx)
+	}
+	// Validate the read set.
+	for _, r := range tx.reads {
+		v := tx.space.locks[r.stripeIdx].Load()
+		if v&lockBit != 0 {
+			if !stripes[r.stripeIdx] {
+				return errRetry
+			}
+			// Locked by us: the lock preserved the pre-lock version, so a
+			// commit that slipped in between our read and our lock still
+			// shows as a version mismatch.
+			if v&^lockBit != r.version {
+				return errRetry
+			}
+			continue
+		}
+		if v != r.version {
+			return errRetry
+		}
+	}
+	// Publish.
+	newVersion := tx.space.clock.Add(2)
+	for _, w := range tx.writes {
+		atomic.StoreUint64(&tx.space.slots[w.slot], w.val)
+	}
+	for _, idx := range tx.locked {
+		tx.space.locks[idx].Store(newVersion)
+	}
+	tx.locked = tx.locked[:0]
+	return nil
+}
+
+// releaseLocks unlocks any stripes still held after an abort, restoring the
+// pre-lock versions.
+func (tx *Tx) releaseLocks() {
+	for _, idx := range tx.locked {
+		l := &tx.space.locks[idx]
+		l.Store(l.Load() &^ lockBit)
+	}
+	tx.locked = tx.locked[:0]
+}
+
+// ReadSlot reads a slot non-transactionally (setup/verification use).
+func (s *Space) ReadSlot(slot int) uint64 {
+	return atomic.LoadUint64(&s.slots[slot])
+}
+
+// WriteSlot writes a slot non-transactionally (setup use only).
+func (s *Space) WriteSlot(slot int, val uint64) {
+	atomic.StoreUint64(&s.slots[slot], val)
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

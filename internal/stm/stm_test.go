@@ -1,0 +1,239 @@
+package stm
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/counters"
+)
+
+func TestSingleThreadedReadWrite(t *testing.T) {
+	s := NewSpace(128)
+	err := s.Atomically(func(tx *Tx) error {
+		if err := tx.Write(3, 42); err != nil {
+			return err
+		}
+		v, err := tx.Read(3) // read-own-write
+		if err != nil {
+			return err
+		}
+		if v != 42 {
+			t.Errorf("read-own-write = %d", v)
+		}
+		return tx.Write(100, 7)
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ReadSlot(3) != 42 || s.ReadSlot(100) != 7 {
+		t.Error("writes not published")
+	}
+	st := s.Stats()
+	if st.Commits != 1 || st.Aborts != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	// N goroutines increment one slot transactionally; the final value must
+	// equal the number of increments (atomicity + isolation).
+	s := NewSpace(8)
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				err := s.Atomically(func(tx *Tx) error {
+					v, err := tx.Read(0)
+					if err != nil {
+						return err
+					}
+					return tx.Write(0, v+1)
+				}, 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.ReadSlot(0); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestBankTransferInvariant(t *testing.T) {
+	// Concurrent transfers preserve the total balance — the classic STM
+	// serializability check.
+	const accounts = 64
+	const initial = 1000
+	s := NewSpace(accounts)
+	for i := 0; i < accounts; i++ {
+		s.WriteSlot(i, initial)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			from, to := seed%accounts, (seed*7+1)%accounts
+			for i := 0; i < 400; i++ {
+				from = (from*31 + 17) % accounts
+				to = (to*37 + 11) % accounts
+				if from == to {
+					continue
+				}
+				err := s.Atomically(func(tx *Tx) error {
+					a, err := tx.Read(from)
+					if err != nil {
+						return err
+					}
+					b, err := tx.Read(to)
+					if err != nil {
+						return err
+					}
+					if a == 0 {
+						return nil
+					}
+					if err := tx.Write(from, a-1); err != nil {
+						return err
+					}
+					return tx.Write(to, b+1)
+				}, 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := uint64(0)
+	for i := 0; i < accounts; i++ {
+		total += s.ReadSlot(i)
+	}
+	if total != accounts*initial {
+		t.Errorf("total balance = %d, want %d", total, accounts*initial)
+	}
+}
+
+func TestConflictingWritersRecordAborts(t *testing.T) {
+	s := NewSpace(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				_ = s.Atomically(func(tx *Tx) error {
+					v, err := tx.Read(0)
+					if err != nil {
+						return err
+					}
+					return tx.Write(0, v+1)
+				}, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Commits == 0 {
+		t.Fatal("no commits")
+	}
+	// With 8 writers on one slot there must be conflicts, and aborted time
+	// must be recorded for the plugin layer.
+	if st.Aborts == 0 {
+		t.Log("no aborts observed (scheduling-dependent but unusual)")
+	} else if st.AbortedNanos <= 0 {
+		t.Error("aborts recorded without aborted time")
+	}
+}
+
+func TestUserErrorPropagates(t *testing.T) {
+	s := NewSpace(4)
+	err := s.Atomically(func(tx *Tx) error {
+		return ErrTooManyRetries // any non-retry error aborts without retry
+	}, 0)
+	if err != ErrTooManyRetries {
+		t.Errorf("err = %v", err)
+	}
+	st := s.Stats()
+	if st.Commits != 0 {
+		t.Errorf("failed transaction counted as commit: %+v", st)
+	}
+}
+
+func TestOutOfRangeSlots(t *testing.T) {
+	s := NewSpace(4)
+	err := s.Atomically(func(tx *Tx) error {
+		_, err := tx.Read(99)
+		return err
+	}, 4)
+	if err == nil {
+		t.Error("out-of-range read should error")
+	}
+	err = s.Atomically(func(tx *Tx) error {
+		return tx.Write(99, 1)
+	}, 4)
+	if err == nil {
+		t.Error("out-of-range write should error")
+	}
+}
+
+func TestReportParsesWithPluginSpec(t *testing.T) {
+	s := NewSpace(8)
+	_ = s.Atomically(func(tx *Tx) error { return tx.Write(0, 1) }, 0)
+	text := s.Report()
+	spec := counters.PluginSpec{
+		Name:    counters.SoftTxAborted,
+		Pattern: `aborted_tx_cycles=([0-9]+)`,
+	}
+	v, err := spec.Extract(text)
+	if err != nil {
+		t.Fatalf("plugin failed on %q: %v", text, err)
+	}
+	if v < 0 {
+		t.Errorf("aborted cycles = %v", v)
+	}
+	if !strings.Contains(text, "commits=1") {
+		t.Errorf("report = %q", text)
+	}
+}
+
+func TestSequentialSerializabilityProperty(t *testing.T) {
+	// Property: a batch of single-threaded transactions behaves like plain
+	// sequential writes.
+	f := func(ops []uint8) bool {
+		s := NewSpace(16)
+		shadow := make([]uint64, 16)
+		for _, op := range ops {
+			slot := int(op) % 16
+			err := s.Atomically(func(tx *Tx) error {
+				v, err := tx.Read(slot)
+				if err != nil {
+					return err
+				}
+				return tx.Write(slot, v+uint64(op))
+			}, 0)
+			if err != nil {
+				return false
+			}
+			shadow[slot] += uint64(op)
+		}
+		for i := range shadow {
+			if s.ReadSlot(i) != shadow[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+// Package syncprof provides instrumented synchronization primitives for
+// real Go programs: a test-and-set spinlock, a wrapped mutex and a
+// sense-reversing barrier, each accounting the nanoseconds its callers spend
+// waiting. It is the repository's equivalent of the paper's "thin wrapper
+// around the pthread library" (§4.1, §5.3) that exposes software stalled
+// cycles for lock-based applications.
+package syncprof
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WaitStats accumulates wait time across all callers of one primitive.
+type WaitStats struct {
+	waits     atomic.Int64
+	waitNanos atomic.Int64
+}
+
+// Waits returns the number of contended waits.
+func (w *WaitStats) Waits() int64 { return w.waits.Load() }
+
+// WaitNanos returns the total nanoseconds spent waiting.
+func (w *WaitStats) WaitNanos() int64 { return w.waitNanos.Load() }
+
+// Reset zeroes the statistics.
+func (w *WaitStats) Reset() {
+	w.waits.Store(0)
+	w.waitNanos.Store(0)
+}
+
+func (w *WaitStats) record(start time.Time) {
+	w.waits.Add(1)
+	w.waitNanos.Add(time.Since(start).Nanoseconds())
+}
+
+// Report renders the statistics in the textual form the plugin layer
+// (counters.PluginSpec) parses.
+func (w *WaitStats) Report(name string) string {
+	return fmt.Sprintf("%s: waits=%d wait_cycles=%d\n", name, w.Waits(), w.WaitNanos())
+}
+
+// SpinLock is a test-and-set spinlock with wait accounting — the primitive
+// the paper swaps in to fix streamcluster (§4.6).
+type SpinLock struct {
+	state atomic.Uint32
+	// Stats accumulates the contended wait time.
+	Stats WaitStats
+}
+
+// Lock acquires the spinlock.
+func (l *SpinLock) Lock() {
+	if l.state.CompareAndSwap(0, 1) {
+		return
+	}
+	start := time.Now()
+	for {
+		for l.state.Load() != 0 {
+			runtime.Gosched()
+		}
+		if l.state.CompareAndSwap(0, 1) {
+			l.Stats.record(start)
+			return
+		}
+	}
+}
+
+// TryLock attempts to acquire the spinlock without waiting.
+func (l *SpinLock) TryLock() bool {
+	return l.state.CompareAndSwap(0, 1)
+}
+
+// Unlock releases the spinlock.
+func (l *SpinLock) Unlock() {
+	l.state.Store(0)
+}
+
+// Mutex wraps sync.Mutex with wait accounting (the pthread-mutex side of
+// the comparison).
+type Mutex struct {
+	mu sync.Mutex
+	// Stats accumulates the contended wait time.
+	Stats WaitStats
+}
+
+// Lock acquires the mutex, recording contended wait time.
+func (m *Mutex) Lock() {
+	if m.mu.TryLock() {
+		return
+	}
+	start := time.Now()
+	m.mu.Lock()
+	m.Stats.record(start)
+}
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() {
+	m.mu.Unlock()
+}
+
+// Barrier is a reusable sense-reversing barrier with wait accounting.
+type Barrier struct {
+	parties int
+	arrived atomic.Int32
+	sense   atomic.Uint32
+	// Stats accumulates time spent waiting for stragglers.
+	Stats WaitStats
+}
+
+// NewBarrier creates a barrier for the given number of parties.
+func NewBarrier(parties int) *Barrier {
+	if parties < 1 {
+		panic("syncprof: barrier needs at least one party")
+	}
+	return &Barrier{parties: parties}
+}
+
+// Wait blocks until all parties have arrived.
+func (b *Barrier) Wait() {
+	sense := b.sense.Load()
+	if int(b.arrived.Add(1)) == b.parties {
+		b.arrived.Store(0)
+		b.sense.Store(sense + 1)
+		return
+	}
+	start := time.Now()
+	for b.sense.Load() == sense {
+		runtime.Gosched()
+	}
+	b.Stats.record(start)
+}
+
+// Parties returns the barrier's party count.
+func (b *Barrier) Parties() int { return b.parties }

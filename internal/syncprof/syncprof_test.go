@@ -1,0 +1,137 @@
+package syncprof
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/counters"
+)
+
+func TestSpinLockMutualExclusion(t *testing.T) {
+	var l SpinLock
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8*2000 {
+		t.Errorf("counter = %d, want %d (mutual exclusion violated)", counter, 8*2000)
+	}
+}
+
+func TestSpinLockTryLock(t *testing.T) {
+	var l SpinLock
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock after unlock failed")
+	}
+	l.Unlock()
+}
+
+func TestMutexAccountsContention(t *testing.T) {
+	var m Mutex
+	var wg sync.WaitGroup
+	shared := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Lock()
+				shared++
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if shared != 8000 {
+		t.Errorf("shared = %d", shared)
+	}
+	// Contended runs should record some waits; uncontended use must not.
+	var solo Mutex
+	solo.Lock()
+	solo.Unlock()
+	if solo.Stats.Waits() != 0 {
+		t.Error("uncontended lock recorded waits")
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const parties = 6
+	const rounds = 50
+	b := NewBarrier(parties)
+	var mu sync.Mutex
+	counts := make([]int, rounds)
+	var wg sync.WaitGroup
+	for g := 0; g < parties; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				mu.Lock()
+				counts[r]++
+				c := counts[r]
+				mu.Unlock()
+				if c > parties {
+					t.Errorf("round %d overshot: %d", r, c)
+				}
+				b.Wait()
+			}
+		}()
+	}
+	wg.Wait()
+	for r, c := range counts {
+		if c != parties {
+			t.Errorf("round %d count = %d, want %d", r, c, parties)
+		}
+	}
+	if b.Parties() != parties {
+		t.Errorf("Parties = %d", b.Parties())
+	}
+}
+
+func TestBarrierPanicsOnZeroParties(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewBarrier(0)
+}
+
+func TestStatsResetAndReport(t *testing.T) {
+	var l SpinLock
+	l.Stats.record(time.Now().Add(-time.Millisecond))
+	if l.Stats.Waits() != 1 || l.Stats.WaitNanos() <= 0 {
+		t.Error("record did not accumulate")
+	}
+	text := l.Stats.Report("pthread_wrapper")
+	spec := counters.PluginSpec{Name: counters.SoftLockSpin, Pattern: `wait_cycles=([0-9]+)`}
+	if _, err := spec.Extract(text); err != nil {
+		t.Errorf("plugin failed on %q: %v", text, err)
+	}
+	if !strings.Contains(text, "waits=1") {
+		t.Errorf("report = %q", text)
+	}
+	l.Stats.Reset()
+	if l.Stats.Waits() != 0 || l.Stats.WaitNanos() != 0 {
+		t.Error("reset failed")
+	}
+}

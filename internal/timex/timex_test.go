@@ -1,0 +1,93 @@
+package timex
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/counters"
+	"repro/internal/fit"
+)
+
+func seriesFrom(times map[int]float64) *counters.Series {
+	s := &counters.Series{Workload: "w", Machine: "m"}
+	for c, t := range times {
+		s.Samples = append(s.Samples, counters.Sample{Cores: c, Seconds: t})
+	}
+	s.Sort()
+	return s
+}
+
+func TestExtrapolateAmdahlCurve(t *testing.T) {
+	// time(p) = 0.1/p + 0.01: a clean Amdahl curve the kernels can follow.
+	times := map[int]float64{}
+	for p := 1; p <= 12; p++ {
+		times[p] = 0.1/float64(p) + 0.01
+	}
+	s := seriesFrom(times)
+	pred, err := Extrapolate(s, []int{24, 48}, fit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want24 := 0.1/24 + 0.01
+	if math.Abs(pred.Time[0]-want24)/want24 > 0.2 {
+		t.Errorf("at 24: got %v want %v (fit %v)", pred.Time[0], want24, pred.Fit)
+	}
+	if pred.Workload != "w" || pred.MeasuredOn != "m" {
+		t.Error("metadata lost")
+	}
+}
+
+func TestExtrapolateMissesHiddenKnee(t *testing.T) {
+	// The kmeans failure mode (paper Fig 1): time improves through the
+	// window, collapses beyond. Direct time extrapolation predicts
+	// continued improvement.
+	full := map[int]float64{}
+	for p := 1; p <= 48; p++ {
+		base := 0.1/float64(p) + 0.005
+		if p > 16 {
+			base += 0.002 * float64(p-16) // hidden collapse
+		}
+		full[p] = base
+	}
+	measured := map[int]float64{}
+	for p := 1; p <= 12; p++ {
+		measured[p] = full[p]
+	}
+	s := seriesFrom(measured)
+	pred, err := Extrapolate(s, []int{48}, fit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Time[0] >= full[48] {
+		t.Errorf("time extrapolation 'sees' the hidden knee: %v >= %v (suspicious)", pred.Time[0], full[48])
+	}
+	// And the error evaluation reports the resulting miss.
+	actual := seriesFrom(map[int]float64{48: full[48]})
+	maxPct, meanPct, err := pred.Errors(actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxPct <= 10 || meanPct <= 0 {
+		t.Errorf("expected a large error, got max %.1f%%", maxPct)
+	}
+}
+
+func TestExtrapolateBadInput(t *testing.T) {
+	s := seriesFrom(map[int]float64{1: 1, 2: 0.5, 3: 0.4})
+	if _, err := Extrapolate(&counters.Series{}, []int{4}, fit.Options{}); err == nil {
+		t.Error("empty series should error")
+	}
+	if _, err := Extrapolate(s, nil, fit.Options{}); err == nil {
+		t.Error("no targets should error")
+	}
+	if _, err := Extrapolate(s, []int{0}, fit.Options{}); err == nil {
+		t.Error("target 0 should error")
+	}
+	p, err := Extrapolate(s, []int{6}, fit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Errors(&counters.Series{}); err == nil {
+		t.Error("no overlap should error")
+	}
+}

@@ -1,0 +1,50 @@
+package workloads
+
+import (
+	"repro/internal/sim"
+)
+
+func init() {
+	register(&knn{})
+}
+
+// knn is the modified k-nearest-neighbours kernel of the paper (§4.4, a
+// recommender-system primitive, originally Java/GCJ): each query streams
+// the shared training matrix computing FP distances, then maintains a small
+// local top-k heap. The training set exceeds the caches, so scaling is
+// eventually limited by memory bandwidth; there is no synchronization
+// beyond the static query partition.
+type knn struct{}
+
+func (w *knn) Name() string { return "K-NN" }
+
+func (w *knn) Build(b *sim.Builder) {
+	const (
+		queriesTotal = 700
+		trainLines   = 1 << 18 // 16 MB training matrix
+		scanStep     = 64
+		scanCount    = 260 // lines streamed per query
+		distWork     = 11  // FP work per streamed line
+		topkWork     = 160
+	)
+	train := b.Heap.Alloc("knn.train", trainLines*64, true, sim.Interleaved)
+	results := b.Heap.Alloc("knn.results", uint64(b.ScaledInt(queriesTotal))*64, false, sim.Interleaved)
+	scanSite := b.Site("knn_distance_scan")
+	topkSite := b.Site("knn_topk")
+
+	qs := split(b.ScaledInt(queriesTotal), b.Threads)
+	offset := 0
+	for th := 0; th < b.Threads; th++ {
+		p := b.Thread(th)
+		for i := 0; i < qs[th]; i++ {
+			start := b.Rand(trainLines - scanCount)
+			p.At(scanSite)
+			p.MemRun(train.Addr(uint64(start)*64), scanCount, scanStep, false)
+			p.ComputeFP(distWork * scanCount)
+			p.At(topkSite)
+			p.Compute(topkWork)
+			p.Store(results.Addr(uint64(offset+i) * 64))
+		}
+		offset += qs[th]
+	}
+}

@@ -1,0 +1,81 @@
+package workloads
+
+import (
+	"repro/internal/sim"
+)
+
+func init() {
+	register(&memcached{})
+}
+
+// memcached models the paper's first production workload (§4.3): the
+// memcached server driven by a cloudsuite-style read-mostly client mix with
+// 550-byte objects. Server worker threads hash the key, walk the item hash
+// chain, and — the scaling limiter of the era's memcached — serialize LRU
+// list maintenance and slab statistics on a global cache lock, which a
+// fraction of GET operations and every SET must take. The server stops
+// scaling once the lock handoffs dominate, which is the behaviour Fig 6(a)
+// predicts from three desktop cores.
+type memcached struct{}
+
+func (w *memcached) Name() string { return "memcached" }
+
+func (w *memcached) Build(b *sim.Builder) {
+	const (
+		requestsTotal = 40000
+		hashBuckets   = 1 << 16
+		itemLines     = 9   // 550-byte objects: 9 cache lines
+		setPct        = 5   // read-mostly: 95% GET / 5% SET
+		lruTouchPct   = 2   // GETs bump the LRU only periodically
+		parseWork     = 500 // event loop + protocol parse + response assembly
+	)
+	table := b.Heap.Alloc("mc.hashtable", hashBuckets*64, true, sim.Interleaved)
+	items := b.Heap.Alloc("mc.items", 1<<23, true, sim.Interleaved)
+	lru := b.Heap.Alloc("mc.lru", 2*64, true, 0)
+	cacheLock := b.NewLock(sim.LockMutex)
+
+	getSite := b.Site("process_get_command")
+	setSite := b.Site("process_update_command")
+	lockSite := b.Site("cache_lock/item_update")
+
+	reqs := split(b.ScaledInt(requestsTotal), b.Threads)
+	for th := 0; th < b.Threads; th++ {
+		p := b.Thread(th)
+		for i := 0; i < reqs[th]; i++ {
+			key := skewIdx(b, hashBuckets, 2)
+			isSet := b.Rand(100) < setPct
+			site := getSite
+			if isSet {
+				site = setSite
+			}
+			p.At(site)
+			p.Compute(parseWork)
+			// Hash chain walk.
+			p.Load(table.Addr(uint64(key) * 64))
+			p.Load(items.Addr(uint64(key*1217) * 64))
+			if isSet {
+				// Store the new value and relink under the cache lock.
+				p.MemRun(items.Addr(uint64(key*1217)*64), itemLines, 64, true)
+				p.At(lockSite)
+				p.Lock(cacheLock)
+				p.Load(lru.Addr(0))
+				p.Compute(45)
+				p.Store(lru.Addr(0))
+				p.Store(table.Addr(uint64(key) * 64))
+				p.Unlock(cacheLock)
+			} else {
+				// Read the value out.
+				p.MemRun(items.Addr(uint64(key*1217)*64), itemLines, 64, false)
+				if b.Rand(100) < lruTouchPct {
+					// Periodic LRU bump also takes the cache lock.
+					p.At(lockSite)
+					p.Lock(cacheLock)
+					p.Load(lru.Addr(0))
+					p.Compute(25)
+					p.Store(lru.Addr(0))
+					p.Unlock(cacheLock)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package workloads
+
+import (
+	"repro/internal/sim"
+)
+
+// The four data-structure microbenchmarks of the paper (§4.2, from
+// "Why STM can be more than a research toy" [10]): lock-based and lock-free
+// hash tables and skip lists, exercised with a read-mostly mix of lookups,
+// inserts and removes over a shared key space.
+
+func init() {
+	register(&hashTable{name: "lock-based HT", locked: true})
+	register(&hashTable{name: "lock-free HT", locked: false})
+	register(&skipList{name: "lock-based SL", locked: true})
+	register(&skipList{name: "lock-free SL", locked: false})
+}
+
+// hashTable models a bucketed hash table. The lock-based variant stripes
+// the buckets over spinlocks; the lock-free variant publishes updates with
+// single-CAS stores on the bucket heads.
+type hashTable struct {
+	name   string
+	locked bool
+}
+
+func (h *hashTable) Name() string { return h.name }
+
+func (h *hashTable) Build(b *sim.Builder) {
+	const (
+		buckets   = 1 << 14
+		opsTotal  = 120000
+		stripes   = 128
+		writePct  = 20 // 80/20 read-mostly mix, the suite's default
+		bucketLen = 2  // expected chain length walked per operation
+	)
+	table := b.Heap.Alloc("ht.buckets", buckets*64, true, sim.Interleaved)
+	nodes := b.Heap.Alloc("ht.nodes", 1<<22, true, sim.Interleaved)
+
+	var locks uint16
+	if h.locked {
+		locks = b.NewLocks(sim.LockSpin, stripes)
+	}
+	lookupSite := b.Site("ht_lookup")
+	updateSite := b.Site("ht_update")
+
+	ops := split(b.ScaledInt(opsTotal), b.Threads)
+	for th := 0; th < b.Threads; th++ {
+		p := b.Thread(th)
+		for i := 0; i < ops[th]; i++ {
+			key := b.Rand(buckets)
+			write := b.Rand(100) < writePct
+			site := lookupSite
+			if write {
+				site = updateSite
+			}
+			p.At(site)
+			p.Compute(18) // hash + compare
+			if h.locked && write {
+				p.Lock(locks + uint16(key%stripes))
+			}
+			// Walk the bucket: head line plus chained nodes.
+			p.Load(table.Addr(uint64(key) * 64))
+			for n := 0; n < bucketLen; n++ {
+				p.Load(nodes.Addr(uint64(key*131+n*977) * 64))
+			}
+			if write {
+				// Insert/remove: write a node and relink the head.
+				p.Store(nodes.Addr(uint64(key*131) * 64))
+				p.Store(table.Addr(uint64(key) * 64)) // CAS for lock-free
+			}
+			if h.locked && write {
+				p.Unlock(locks + uint16(key%stripes))
+			}
+		}
+	}
+}
+
+// skipList models a probabilistic skip list: lookups descend ~log n towers
+// of pointers (a pointer-chasing read chain); updates relink a handful of
+// levels. The lock-based variant takes a coarse stripe lock around updates
+// and holds it for the whole relink; the lock-free variant uses per-level
+// CAS stores.
+type skipList struct {
+	name   string
+	locked bool
+}
+
+func (s *skipList) Name() string { return s.name }
+
+func (s *skipList) Build(b *sim.Builder) {
+	const (
+		elements = 1 << 16
+		opsTotal = 70000
+		levels   = 12
+		stripes  = 16 // coarse striping: the lock-based SL contends
+		writePct = 20
+	)
+	towers := b.Heap.Alloc("sl.towers", elements*64, true, sim.Interleaved)
+
+	var locks uint16
+	if s.locked {
+		locks = b.NewLocks(sim.LockSpin, stripes)
+	}
+	searchSite := b.Site("sl_search")
+	updateSite := b.Site("sl_update")
+
+	ops := split(b.ScaledInt(opsTotal), b.Threads)
+	for th := 0; th < b.Threads; th++ {
+		p := b.Thread(th)
+		for i := 0; i < ops[th]; i++ {
+			key := b.Rand(elements)
+			write := b.Rand(100) < writePct
+			p.At(searchSite)
+			// Descend the towers: one dependent load per level.
+			cur := key
+			for l := 0; l < levels; l++ {
+				p.Load(towers.Addr(uint64(cur) * 64))
+				p.Compute(6) // key compare + level step
+				cur = (cur*2654435761 + l) % elements
+			}
+			if write {
+				p.At(updateSite)
+				if s.locked {
+					p.Lock(locks + uint16(key%stripes))
+				}
+				// Relink ~4 levels.
+				for l := 0; l < 4; l++ {
+					p.Store(towers.Addr(uint64((key+l*7919)%elements) * 64))
+				}
+				if s.locked {
+					p.Unlock(locks + uint16(key%stripes))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package workloads
+
+import (
+	"repro/internal/sim"
+)
+
+// PARSEC workloads, part 1: blackscholes, bodytrack, canneal.
+
+func init() {
+	register(&blackscholes{})
+	register(&bodytrack{})
+	register(&canneal{})
+}
+
+// blackscholes prices a portfolio of European options with the
+// Black–Scholes PDE: an embarrassingly parallel, floating-point-dominated
+// loop over a statically partitioned option array. It scales almost
+// linearly; its dominant stall category is FPU pressure (the paper notes
+// the FPU event contributes >30% of its stalls on the Opteron).
+type blackscholes struct{}
+
+func (w *blackscholes) Name() string { return "blackscholes" }
+
+func (w *blackscholes) Build(b *sim.Builder) {
+	const (
+		optionsTotal = 26000
+		pricingWork  = 320 // CNDF evaluations per option
+	)
+	options := b.Heap.Alloc("bs.options", uint64(b.ScaledInt(optionsTotal))*64, false, sim.Interleaved)
+	priceSite := b.Site("BlkSchlsEqEuroNoDiv")
+
+	opts := split(b.ScaledInt(optionsTotal), b.Threads)
+	offset := 0
+	for th := 0; th < b.Threads; th++ {
+		p := b.Thread(th).At(priceSite)
+		for i := 0; i < opts[th]; i++ {
+			p.Load(options.Addr(uint64(offset+i) * 64))
+			p.ComputeFP(pricingWork)
+			p.Store(options.Addr(uint64(offset+i) * 64))
+		}
+		offset += opts[th]
+	}
+}
+
+// bodytrack tracks a human body model through camera frames with a particle
+// filter: per-frame phases (particle weighting, resampling) separated by
+// barriers, reading a shared image/model region with moderate FP work. It
+// scales well with mild barrier overhead.
+type bodytrack struct{}
+
+func (w *bodytrack) Name() string { return "bodytrack" }
+
+func (w *bodytrack) Build(b *sim.Builder) {
+	const (
+		frames         = 6
+		particlesTotal = 3600
+		weightWork     = 420
+		imageLines     = 1 << 16
+	)
+	image := b.Heap.Alloc("bt.edgemaps", imageLines*64, true, sim.Interleaved)
+	model := b.Heap.Alloc("bt.bodymodel", 1<<10*64, true, sim.Interleaved)
+	frameBar := b.NewBarrier(sim.BarrierSpin)
+
+	weightSite := b.Site("ImageMeasurements_Weight")
+	resampleSite := b.Site("particle_resample")
+
+	parts := split(b.ScaledInt(particlesTotal), b.Threads)
+	for th := 0; th < b.Threads; th++ {
+		p := b.Thread(th)
+		for f := 0; f < frames; f++ {
+			p.At(weightSite)
+			for i := 0; i < parts[th]; i++ {
+				// Project the particle: read edge maps and the model.
+				p.MemRun(image.Addr(uint64(b.Rand(imageLines))*64), 4, 64, false)
+				p.Load(model.Addr(uint64(b.Rand(1<<10)) * 64))
+				p.ComputeFP(weightWork)
+			}
+			p.Barrier(frameBar)
+			// Resampling is cheap and local.
+			p.At(resampleSite)
+			p.Compute(40 * parts[th] / 8)
+			p.Barrier(frameBar)
+		}
+	}
+}
+
+// canneal performs cache-aggressive simulated annealing of a chip netlist:
+// each move reads two random elements plus their neighbour lists from a
+// netlist far larger than the caches and swaps them with a handful of
+// writes. It is dominated by DRAM latency and bandwidth, with light
+// synchronization (lock-free element swaps).
+type canneal struct{}
+
+func (w *canneal) Name() string { return "canneal" }
+
+func (w *canneal) Build(b *sim.Builder) {
+	const (
+		movesTotal   = 30000
+		netlistLines = 1 << 21 // 128 MB: far beyond LLC
+		neighbours   = 5
+	)
+	netlist := b.Heap.Alloc("canneal.netlist", netlistLines*64, true, sim.Interleaved)
+	moveSite := b.Site("annealer_swap_cost")
+
+	moves := split(b.ScaledInt(movesTotal), b.Threads)
+	for th := 0; th < b.Threads; th++ {
+		p := b.Thread(th).At(moveSite)
+		for i := 0; i < moves[th]; i++ {
+			a := b.Rand(netlistLines)
+			c := b.Rand(netlistLines)
+			// Cost evaluation: both elements plus neighbour lists.
+			p.Load(netlist.Addr(uint64(a) * 64))
+			p.Load(netlist.Addr(uint64(c) * 64))
+			for n := 0; n < neighbours; n++ {
+				p.Load(netlist.Addr(uint64((a+n*4099)%netlistLines) * 64))
+			}
+			p.ComputeFP(60)
+			// Accept: swap the two elements (atomic pointer swaps).
+			p.Store(netlist.Addr(uint64(a) * 64))
+			p.Store(netlist.Addr(uint64(c) * 64))
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package workloads
+
+import (
+	"repro/internal/sim"
+)
+
+func init() {
+	register(&sqlite{})
+}
+
+// sqlite models the paper's second production workload (§4.3): the SQLite
+// in-memory DBMS running a TPC-C mix with logging on tmpfs. SQLite
+// serializes writers on a single database lock: New-Order and Payment
+// transactions hold it across their whole B-tree update plus the WAL
+// append, while read-only Stock-Level/Order-Status queries run concurrent
+// B-tree descents. Writer serialization caps scalability early, the
+// behaviour Fig 6(b) predicts from four desktop cores.
+type sqlite struct{}
+
+func (w *sqlite) Name() string { return "sqlite" }
+
+func (w *sqlite) Build(b *sim.Builder) {
+	const (
+		txTotal     = 12000
+		btreeLines  = 1 << 19 // ~32 MB of B-tree pages (10 GB scaled down)
+		btreeDepth  = 4
+		writePct    = 20 // the updating share of the mix reaching the writer lock
+		rowsPerRead = 8
+		rowsPerWr   = 4
+		sqlWork     = 700 // parse + plan + VDBE execution
+	)
+	btree := b.Heap.Alloc("sqlite.btree", btreeLines*64, true, sim.Interleaved)
+	wal := b.Heap.Alloc("sqlite.wal", 1<<20, true, sim.Interleaved)
+	dbLock := b.NewLock(sim.LockMutex)
+
+	readSite := b.Site("sqlite3_step/select")
+	writeSite := b.Site("sqlite3_step/update")
+	walSite := b.Site("wal_write")
+
+	txs := split(b.ScaledInt(txTotal), b.Threads)
+	for th := 0; th < b.Threads; th++ {
+		p := b.Thread(th)
+		walOff := uint64(th) * 4096
+		for i := 0; i < txs[th]; i++ {
+			isWrite := b.Rand(100) < writePct
+			root := skewIdx(b, btreeLines, 2)
+			if isWrite {
+				p.At(writeSite)
+				p.Compute(sqlWork)
+				p.Lock(dbLock)
+				// B-tree descent plus leaf updates under the writer lock.
+				for d := 0; d < btreeDepth; d++ {
+					p.Load(btree.Addr(uint64((root+d*337)%btreeLines) * 64))
+					p.Compute(30)
+				}
+				for r := 0; r < rowsPerWr; r++ {
+					p.Store(btree.Addr(uint64((root+r*101)%btreeLines) * 64))
+				}
+				// WAL append (tmpfs: memory copies, no IO).
+				p.At(walSite)
+				p.MemRun(wal.Addr(walOff), 6, 64, true)
+				walOff += 6 * 64
+				p.Unlock(dbLock)
+			} else {
+				p.At(readSite)
+				p.Compute(sqlWork)
+				// Concurrent read-only descent and row scan.
+				for d := 0; d < btreeDepth; d++ {
+					p.Load(btree.Addr(uint64((root+d*337)%btreeLines) * 64))
+					p.Compute(30)
+				}
+				p.MemRun(btree.Addr(uint64(root)*64), rowsPerRead, 64, false)
+				p.Compute(120) // aggregation
+			}
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package workloads
+
+import (
+	"repro/internal/sim"
+)
+
+// STAMP workloads, part 1: genome, intruder (with the §4.6 batched-decode
+// variant) and kmeans. All use software transactions; the simulated SwissTM
+// runtime reports aborted-transaction cycles as software stalls.
+
+func init() {
+	register(&genome{})
+	register(&intruder{name: "intruder", decodeBatch: 1})
+	register(&intruder{name: "intruder-batch", decodeBatch: 8})
+	register(&kmeans{})
+}
+
+// genome is the STAMP gene-sequencing benchmark: phase 1 deduplicates DNA
+// segments by inserting them into a shared hash set (short transactions
+// over a large table — rare conflicts), phase 2 matches overlapping
+// segments (read-dominated transactions). A barrier separates the phases.
+// It scales almost linearly in the paper (≤6.3% error in Table 4).
+type genome struct{}
+
+func (g *genome) Name() string { return "genome" }
+
+func (g *genome) Build(b *sim.Builder) {
+	const (
+		segmentsTotal = 60000
+		setBuckets    = 1 << 16
+		matchRounds   = 2
+	)
+	set := b.Heap.Alloc("genome.segments", setBuckets*64, true, sim.Interleaved)
+	strings := b.Heap.Alloc("genome.strings", 1<<22, true, sim.Interleaved)
+	phase := b.NewBarrier(sim.BarrierSpin)
+
+	hashSite := b.Site("genome_hash_insert")
+	matchSite := b.Site("genome_match")
+
+	segs := split(b.ScaledInt(segmentsTotal), b.Threads)
+	for th := 0; th < b.Threads; th++ {
+		p := b.Thread(th)
+		// Phase 1: segment deduplication.
+		p.At(hashSite)
+		for i := 0; i < segs[th]; i++ {
+			bucket := b.Rand(setBuckets)
+			p.TxBegin()
+			p.Compute(25) // hash the segment
+			p.Load(set.Addr(uint64(bucket) * 64))
+			p.Store(set.Addr(uint64(bucket) * 64))
+			p.TxEnd()
+			p.Load(strings.Addr(uint64(b.Rand(1 << 22))))
+		}
+		p.Barrier(phase)
+		// Phase 2: overlap matching — streaming reads with occasional
+		// linking transactions.
+		p.At(matchSite)
+		for r := 0; r < matchRounds; r++ {
+			for i := 0; i < segs[th]; i++ {
+				p.Load(strings.Addr(uint64(b.Rand(1 << 22))))
+				p.Compute(40) // suffix comparison
+				if i%16 == 0 {
+					bucket := b.Rand(setBuckets)
+					p.TxBegin()
+					p.Load(set.Addr(uint64(bucket) * 64))
+					p.Store(set.Addr(uint64(bucket) * 64))
+					p.TxEnd()
+				}
+			}
+			p.Barrier(phase)
+		}
+	}
+}
+
+// intruder is the STAMP network-intrusion-detection benchmark (§3.2):
+// packets flow through capture (a shared work queue popped in a
+// transaction), reassembly (transactional inserts into a per-flow fragment
+// map) and detection (pure computation). The shared queue and the fragment
+// map make conflicts grow with the core count, so the application stops
+// scaling mid-range and slows down beyond — the paper's running example.
+//
+// decodeBatch is the §4.6 fix: decoding more elements per transaction
+// amortizes the queue contention (8× fewer, slightly longer queue
+// transactions).
+type intruder struct {
+	name        string
+	decodeBatch int
+}
+
+func (w *intruder) Name() string { return w.name }
+
+func (w *intruder) Build(b *sim.Builder) {
+	const (
+		packetsTotal = 22000
+		flows        = 2048
+		detectWork   = 500 // per-packet match bookkeeping
+		trieLines    = 1 << 18
+		trieDepth    = 14 // dependent loads through the signature trie
+	)
+	queue := b.Heap.Alloc("intruder.queue", 2*64, true, 0)
+	fragMap := b.Heap.Alloc("intruder.fragments", flows*64, true, sim.Interleaved)
+	payloads := b.Heap.Alloc("intruder.payloads", 1<<23, true, sim.Interleaved)
+	// The signature automaton: detection walks it with dependent loads, so
+	// the phase is memory-bound like the original Aho-Corasick matcher.
+	trie := b.Heap.Alloc("intruder.signatures", trieLines*64, true, sim.Interleaved)
+
+	captureSite := b.Site("processPackets/TMDECODER_PROCESS")
+	reassemblySite := b.Site("reassembly")
+	detectSite := b.Site("detect_signatures")
+
+	batch := w.decodeBatch
+	if batch < 1 {
+		batch = 1
+	}
+	pkts := split(b.ScaledInt(packetsTotal), b.Threads)
+	for th := 0; th < b.Threads; th++ {
+		p := b.Thread(th)
+		for i := 0; i < pkts[th]; i += batch {
+			n := batch
+			if rem := pkts[th] - i; rem < n {
+				n = rem
+			}
+			// Capture: pop n packets from the shared queue in one
+			// transaction. The queue head/tail lines are the hot spot.
+			p.At(captureSite)
+			p.TxBegin()
+			p.Load(queue.Addr(0))
+			p.Compute(8 + 4*n)
+			p.Store(queue.Addr(0))  // head pointer
+			p.Store(queue.Addr(64)) // element count
+			p.TxEnd()
+			for k := 0; k < n; k++ {
+				// Reassembly: insert the fragment into its flow's slot.
+				flow := skewIdx(b, flows, 2)
+				p.At(reassemblySite)
+				p.TxBegin()
+				p.Load(fragMap.Addr(uint64(flow) * 64))
+				p.Compute(35)
+				p.Store(fragMap.Addr(uint64(flow) * 64))
+				p.TxEnd()
+				// Detection: stream the payload and walk the signature
+				// automaton with dependent loads. Packet lengths vary,
+				// which also keeps the threads from marching in lock step
+				// on the queue.
+				p.At(detectSite)
+				p.MemRun(payloads.Addr(uint64(b.Rand(1<<23))&^63), 6, 64, false)
+				node := b.Rand(trieLines)
+				for d := 0; d < trieDepth; d++ {
+					p.Load(trie.Addr(uint64(node) * 64))
+					p.Compute(7)
+					node = (node*2654435761 + d) % trieLines
+				}
+				p.Compute(detectWork/2 + b.Rand(detectWork))
+			}
+		}
+	}
+}
+
+// kmeans is the STAMP partition-based clustering benchmark: every iteration
+// assigns each point to the nearest of K centroids (streaming reads + FP
+// distance computation) and transactionally accumulates the point into the
+// centroid's running sum. With few centroids the accumulator lines become
+// contended as cores grow, producing the late scalability collapse that
+// time extrapolation misses (paper Fig 1, Fig 8(d)).
+type kmeans struct{}
+
+func (k *kmeans) Name() string { return "kmeans" }
+
+func (k *kmeans) Build(b *sim.Builder) {
+	const (
+		pointsTotal = 12000
+		centroids   = 12
+		iterations  = 4
+		dims        = 8
+	)
+	points := b.Heap.Alloc("kmeans.points", uint64(b.ScaledInt(pointsTotal))*dims*8, false, sim.Interleaved)
+	// Each centroid keeps its running sum (dims × 8 B = two lines) and its
+	// member count on separate lines, as the STAMP code does with its
+	// newCenters/newCentersLen arrays — all are written by every
+	// accumulation.
+	sums := b.Heap.Alloc("kmeans.newcenters", centroids*128, true, 0)
+	counts := b.Heap.Alloc("kmeans.newcenterslen", centroids*64, true, 0)
+	bar := b.NewBarrier(sim.BarrierSpin)
+
+	assignSite := b.Site("kmeans_assign")
+	updateSite := b.Site("kmeans_update")
+
+	pts := split(b.ScaledInt(pointsTotal), b.Threads)
+	for th := 0; th < b.Threads; th++ {
+		p := b.Thread(th)
+		for it := 0; it < iterations; it++ {
+			for i := 0; i < pts[th]; i++ {
+				// Distance to each centroid: stream the point's feature
+				// vector, read the centroid table (read-shared), FP math.
+				p.At(assignSite)
+				p.MemRun(points.Addr(uint64((th*pts[0]+i)*dims*8)), dims*8/64+1, 64, false)
+				p.Load(points.Addr(uint64(b.Rand(pointsTotal) * dims * 8)))
+				p.ComputeFP(18 * centroids / 4)
+				// Accumulate into the chosen centroid.
+				c := b.Rand(centroids)
+				p.At(updateSite)
+				p.TxBegin()
+				// Accumulate all dims of the point into the centroid's
+				// running sum (two lines) and bump its member count.
+				p.Load(sums.Addr(uint64(c) * 128))
+				p.ComputeFP(40)
+				p.MemRun(sums.Addr(uint64(c)*128), 2, 64, true)
+				p.Store(counts.Addr(uint64(c) * 64))
+				p.TxEnd()
+			}
+			p.Barrier(bar)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package workloads
+
+import (
+	"repro/internal/sim"
+)
+
+// STAMP workloads, part 2: labyrinth, ssca2, vacation (high/low contention)
+// and yada.
+
+func init() {
+	register(&labyrinth{})
+	register(&ssca2{})
+	register(&vacation{name: "vacation-high", queriesPerTx: 6, writesPerTx: 4, span: 1 << 12})
+	register(&vacation{name: "vacation-low", queriesPerTx: 3, writesPerTx: 2, span: 1 << 16})
+	register(&yada{})
+}
+
+// labyrinth is the STAMP maze-routing benchmark: each transaction routes one
+// path through a shared 3D grid with a breadth-first expansion (a long read
+// phase over many grid cells) and then claims the path (a write phase).
+// Transactions are long, so each abort is expensive even though the grid is
+// large.
+type labyrinth struct{}
+
+func (l *labyrinth) Name() string { return "labyrinth" }
+
+func (l *labyrinth) Build(b *sim.Builder) {
+	const (
+		pathsTotal = 1400
+		gridCells  = 1 << 18 // lines
+		expand     = 90      // cells read during expansion
+		claim      = 22      // cells written to claim the path
+	)
+	grid := b.Heap.Alloc("labyrinth.grid", gridCells*64, true, sim.Interleaved)
+	routeSite := b.Site("router_solve")
+
+	paths := split(b.ScaledInt(pathsTotal), b.Threads)
+	for th := 0; th < b.Threads; th++ {
+		p := b.Thread(th).At(routeSite)
+		for i := 0; i < paths[th]; i++ {
+			start := b.Rand(gridCells)
+			p.TxBegin()
+			// Expansion: wavefront reads around the source.
+			for c := 0; c < expand; c++ {
+				cell := (start + c*37) % gridCells
+				p.Load(grid.Addr(uint64(cell) * 64))
+				p.Compute(8)
+			}
+			// Claim the chosen path.
+			for c := 0; c < claim; c++ {
+				cell := (start + c*37) % gridCells
+				p.Store(grid.Addr(uint64(cell) * 64))
+			}
+			p.TxEnd()
+			p.Compute(300) // local path bookkeeping
+		}
+	}
+}
+
+// ssca2 is the STAMP graph kernel (Scalable Synthetic Compact Applications
+// 2): tiny transactions add edges to a large graph's adjacency arrays. The
+// working set misses the caches, so the benchmark is memory-bound and keeps
+// scaling until bandwidth saturates.
+type ssca2 struct{}
+
+func (s *ssca2) Name() string { return "ssca2" }
+
+func (s *ssca2) Build(b *sim.Builder) {
+	const (
+		edgesTotal = 60000
+		nodes      = 1 << 20 // lines
+	)
+	adjacency := b.Heap.Alloc("ssca2.adjacency", nodes*64, true, sim.Interleaved)
+	addSite := b.Site("computeGraph_addEdge")
+
+	edges := split(b.ScaledInt(edgesTotal), b.Threads)
+	for th := 0; th < b.Threads; th++ {
+		p := b.Thread(th).At(addSite)
+		for i := 0; i < edges[th]; i++ {
+			u := b.Rand(nodes)
+			v := b.Rand(nodes)
+			p.TxBegin()
+			p.Load(adjacency.Addr(uint64(u) * 64))
+			p.Store(adjacency.Addr(uint64(u) * 64))
+			p.Store(adjacency.Addr(uint64(v) * 64))
+			p.TxEnd()
+			p.Compute(30)
+		}
+	}
+}
+
+// vacation is the STAMP travel-reservation benchmark: an in-memory database
+// of flights, rooms and cars queried and updated inside transactions. The
+// high-contention configuration uses more queries/updates per transaction
+// over a smaller span of records.
+type vacation struct {
+	name         string
+	queriesPerTx int
+	writesPerTx  int
+	span         int
+}
+
+func (v *vacation) Name() string { return v.name }
+
+func (v *vacation) Build(b *sim.Builder) {
+	const tasksTotal = 22000
+	tables := [3]sim.Region{
+		b.Heap.Alloc("vacation.flights", uint64(v.span)*64, true, sim.Interleaved),
+		b.Heap.Alloc("vacation.rooms", uint64(v.span)*64, true, sim.Interleaved),
+		b.Heap.Alloc("vacation.cars", uint64(v.span)*64, true, sim.Interleaved),
+	}
+	txSite := b.Site("client_makeReservation")
+
+	tasks := split(b.ScaledInt(tasksTotal), b.Threads)
+	for th := 0; th < b.Threads; th++ {
+		p := b.Thread(th).At(txSite)
+		for i := 0; i < tasks[th]; i++ {
+			p.TxBegin()
+			for q := 0; q < v.queriesPerTx; q++ {
+				tab := tables[b.Rand(3)]
+				rec := skewIdx(b, v.span, 2)
+				p.Load(tab.Addr(uint64(rec) * 64))
+				p.Compute(25) // B-tree comparisons
+			}
+			for wq := 0; wq < v.writesPerTx; wq++ {
+				tab := tables[b.Rand(3)]
+				rec := skewIdx(b, v.span, 2)
+				p.Store(tab.Addr(uint64(rec) * 64))
+			}
+			p.TxEnd()
+			p.Compute(60) // client-side bookkeeping
+		}
+	}
+}
+
+// yada is the STAMP Delaunay mesh refinement benchmark (Ruppert's
+// algorithm): threads pull bad triangles from a shared work heap
+// (a transactional hot spot) and retriangulate their cavities (medium-sized
+// read/write transactions over the shared mesh). Conflicts grow with the
+// core count and the application's behaviour changes mid-range (Fig 8(c)).
+type yada struct{}
+
+func (y *yada) Name() string { return "yada" }
+
+func (y *yada) Build(b *sim.Builder) {
+	const (
+		trianglesTotal = 5000
+		meshCells      = 1 << 15 // lines
+		cavityReads    = 38
+		cavityWrites   = 14
+	)
+	workHeap := b.Heap.Alloc("yada.workheap", 4*64, true, 0)
+	// The work heap keeps its root and its size word on separate lines,
+	// both written by every extract — the transactional hot spot.
+	mesh := b.Heap.Alloc("yada.mesh", meshCells*64, true, sim.Interleaved)
+
+	heapSite := b.Site("heap_extract")
+	refineSite := b.Site("refine_cavity")
+
+	tris := split(b.ScaledInt(trianglesTotal), b.Threads)
+	for th := 0; th < b.Threads; th++ {
+		p := b.Thread(th)
+		for i := 0; i < tris[th]; i++ {
+			// Extract the worst triangle from the shared heap.
+			p.At(heapSite)
+			p.TxBegin()
+			p.Load(workHeap.Addr(0))
+			p.Compute(12)
+			p.Store(workHeap.Addr(0))
+			p.Store(workHeap.Addr(64))
+			p.TxEnd()
+			// Retriangulate the cavity around it.
+			center := b.Rand(meshCells)
+			p.At(refineSite)
+			p.TxBegin()
+			for c := 0; c < cavityReads; c++ {
+				p.Load(mesh.Addr(uint64((center+c*53)%meshCells) * 64))
+				p.Compute(12) // in-circle tests
+			}
+			for c := 0; c < cavityWrites; c++ {
+				p.Store(mesh.Addr(uint64((center+c*53)%meshCells) * 64))
+			}
+			p.TxEnd()
+			p.ComputeFP(250) // new point insertion geometry
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package workloads implements the 21 benchmarks of the paper's evaluation
+// (§4.2) against the simulator's machine model: four data-structure
+// microbenchmarks, eight STAMP applications, six PARSEC applications, the
+// K-NN kernel, and the two production workloads (memcached and SQLite), plus
+// the two "fixed" variants of §4.6 (streamcluster with spin barriers,
+// intruder with batched decoding).
+//
+// Each workload reproduces the algorithmic structure and resource pressure
+// of its namesake — address streams over data-structure-shaped regions,
+// the original synchronization pattern (locks, barriers or software
+// transactions) and the original compute mix — rather than its exact
+// computation, which is all the ESTIMA pipeline observes.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Registry of all workloads by name.
+var registry = map[string]sim.Workload{}
+var order []string
+
+func register(w sim.Workload) {
+	if _, dup := registry[w.Name()]; dup {
+		panic(fmt.Sprintf("workloads: duplicate %q", w.Name()))
+	}
+	registry[w.Name()] = w
+	order = append(order, w.Name())
+}
+
+// ByName returns the workload with the given name, or nil.
+func ByName(name string) sim.Workload {
+	return registry[name]
+}
+
+// Names returns all registered workload names in registration order.
+func Names() []string {
+	return append([]string(nil), order...)
+}
+
+// All returns all registered workloads in registration order.
+func All() []sim.Workload {
+	out := make([]sim.Workload, 0, len(order))
+	for _, n := range order {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// Table4Names returns the 19 benchmark workloads of the paper's Table 4/5,
+// in the tables' row order.
+func Table4Names() []string {
+	return []string{
+		"lock-based HT", "lock-based SL", "lock-free HT", "lock-free SL",
+		"genome", "intruder", "kmeans", "labyrinth", "ssca2",
+		"vacation-high", "vacation-low", "yada",
+		"blackscholes", "bodytrack", "canneal", "raytrace",
+		"streamcluster", "swaptions", "K-NN",
+	}
+}
+
+// STAMPNames returns the STAMP suite subset.
+func STAMPNames() []string {
+	return []string{"genome", "intruder", "kmeans", "labyrinth", "ssca2",
+		"vacation-high", "vacation-low", "yada"}
+}
+
+// ParsecNames returns the PARSEC suite subset.
+func ParsecNames() []string {
+	return []string{"blackscholes", "bodytrack", "canneal", "raytrace",
+		"streamcluster", "swaptions"}
+}
+
+// split distributes n items across t threads as evenly as possible.
+func split(n, t int) []int {
+	out := make([]int, t)
+	base := n / t
+	rem := n % t
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// skewIdx draws an index in [0, n) biased toward low indices with the given
+// skew exponent (1 = uniform; higher = more skewed). It models the hot-key
+// distributions of key-value and database workloads.
+func skewIdx(b *sim.Builder, n int, skew float64) int {
+	if n <= 1 {
+		return 0
+	}
+	u := b.RandFloat()
+	for i := 1.0; i < skew; i++ {
+		u *= b.RandFloat()
+	}
+	idx := int(u * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// sortedNames is a helper for tests and CLIs that want stable output.
+func sortedNames() []string {
+	ns := Names()
+	sort.Strings(ns)
+	return ns
+}

@@ -1,0 +1,200 @@
+package workloads
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+const testScale = 0.05 // shrink datasets so unit tests stay fast
+
+func TestRegistryComplete(t *testing.T) {
+	// 19 benchmarks + memcached + sqlite + 2 fixed variants.
+	if got := len(All()); got != 23 {
+		t.Errorf("registered %d workloads, want 23", got)
+	}
+	for _, name := range Table4Names() {
+		if ByName(name) == nil {
+			t.Errorf("Table 4 workload %q not registered", name)
+		}
+	}
+	for _, name := range []string{"memcached", "sqlite", "streamcluster-spin", "intruder-batch"} {
+		if ByName(name) == nil {
+			t.Errorf("workload %q not registered", name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("unknown workload should be nil")
+	}
+	if len(Names()) != len(All()) {
+		t.Error("Names/All length mismatch")
+	}
+	if len(sortedNames()) != len(All()) {
+		t.Error("sortedNames length mismatch")
+	}
+}
+
+func TestSuiteSubsetsRegistered(t *testing.T) {
+	for _, name := range append(STAMPNames(), ParsecNames()...) {
+		if ByName(name) == nil {
+			t.Errorf("suite workload %q not registered", name)
+		}
+	}
+}
+
+func TestEveryWorkloadRuns(t *testing.T) {
+	m := machine.Xeon20()
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			t.Parallel()
+			for _, cores := range []int{1, 4} {
+				s, err := sim.Collect(w, m, cores, testScale)
+				if err != nil {
+					t.Fatalf("%d cores: %v", cores, err)
+				}
+				if s.Seconds <= 0 || math.IsNaN(s.Seconds) {
+					t.Errorf("%d cores: bad time %v", cores, s.Seconds)
+				}
+				if s.TotalBackend() <= 0 {
+					t.Errorf("%d cores: no backend stalls", cores)
+				}
+				if s.FootprintBytes == 0 {
+					t.Errorf("%d cores: no footprint", cores)
+				}
+				for code, v := range s.HW {
+					if v < 0 || math.IsNaN(v) {
+						t.Errorf("%d cores: event %s = %v", cores, code, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestEveryWorkloadDeterministic(t *testing.T) {
+	m := machine.Opteron()
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			t.Parallel()
+			a, err := sim.Collect(w, m, 2, testScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := sim.Collect(w, m, 2, testScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Error("two identical runs differ")
+			}
+		})
+	}
+}
+
+func TestSTMWorkloadsReportTxStalls(t *testing.T) {
+	m := machine.Opteron()
+	for _, name := range STAMPNames() {
+		w := ByName(name)
+		s, err := sim.Collect(w, m, 8, testScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// At 8 cores the STM apps should show at least some aborted work.
+		aborted := s.Soft["tx-aborted"]
+		if aborted < 0 {
+			t.Errorf("%s: negative aborted cycles", name)
+		}
+	}
+}
+
+func TestEmbarrassinglyParallelScaleWell(t *testing.T) {
+	m := machine.Xeon20()
+	for _, name := range []string{"blackscholes", "swaptions", "raytrace"} {
+		w := ByName(name)
+		s1, err := sim.Collect(w, m, 1, testScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s8, err := sim.Collect(w, m, 8, testScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speedup := s1.Seconds / s8.Seconds
+		if speedup < 5 {
+			t.Errorf("%s: speedup at 8 cores = %.2f, want ≥5", name, speedup)
+		}
+	}
+}
+
+func TestFixedVariantsFasterAtScale(t *testing.T) {
+	m := machine.Opteron()
+	pairs := [][2]string{
+		{"streamcluster", "streamcluster-spin"},
+		{"intruder", "intruder-batch"},
+	}
+	for _, pair := range pairs {
+		orig, err := sim.Collect(ByName(pair[0]), m, 48, testScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixed, err := sim.Collect(ByName(pair[1]), m, 48, testScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fixed.Seconds >= orig.Seconds {
+			t.Errorf("%s (%.4gs) should beat %s (%.4gs) at 48 cores",
+				pair[1], fixed.Seconds, pair[0], orig.Seconds)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	cases := []struct {
+		n, t int
+		want []int
+	}{
+		{10, 3, []int{4, 3, 3}},
+		{3, 3, []int{1, 1, 1}},
+		{2, 3, []int{1, 1, 0}},
+		{0, 2, []int{0, 0}},
+	}
+	for _, c := range cases {
+		got := split(c.n, c.t)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("split(%d,%d) = %v, want %v", c.n, c.t, got, c.want)
+		}
+		sum := 0
+		for _, v := range got {
+			sum += v
+		}
+		if sum != c.n {
+			t.Errorf("split(%d,%d) loses items", c.n, c.t)
+		}
+	}
+}
+
+func TestSkewIdxBounds(t *testing.T) {
+	b := sim.NewBuilder(machine.Xeon20(), 1, 1, 42)
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		idx := skewIdx(b, 100, 2)
+		if idx < 0 || idx >= 100 {
+			t.Fatalf("skewIdx out of range: %d", idx)
+		}
+		counts[idx/25]++
+	}
+	if counts[0] <= counts[3] {
+		t.Errorf("skew not biased toward low indices: %v", counts)
+	}
+	if got := skewIdx(b, 1, 2); got != 0 {
+		t.Errorf("skewIdx(n=1) = %d", got)
+	}
+	if got := skewIdx(b, 0, 2); got != 0 {
+		t.Errorf("skewIdx(n=0) = %d", got)
+	}
+}
