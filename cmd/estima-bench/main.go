@@ -18,6 +18,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (fig1..fig16, table4..table7, ablation-*) or 'all'")
 	scale := flag.Float64("scale", 1, "dataset scale factor")
 	outDir := flag.String("out", "", "directory to write per-experiment .txt files (optional)")
+	cacheDir := flag.String("cache", "", "measurement store directory, reused across runs")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -32,7 +33,7 @@ func main() {
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
 	}
-	cfg := experiments.Config{Scale: *scale}
+	cfg := experiments.Config{Scale: *scale, CacheDir: *cacheDir}
 	failed := 0
 	for _, id := range ids {
 		start := time.Now()

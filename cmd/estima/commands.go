@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/counters"
 	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/workloads"
@@ -114,6 +115,7 @@ func cmdCollect(args []string) error {
 	mach := fs.String("m", "Opteron", "machine name")
 	coreSpec := fs.String("cores", "all", "core counts")
 	scale := fs.Float64("scale", 1, "dataset scale factor")
+	out := fs.String("o", "", "write the series as JSON to this file (for 'predict -from')")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -128,6 +130,18 @@ func cmdCollect(args []string) error {
 	series, err := sim.CollectSeries(w, m, cores, *scale)
 	if err != nil {
 		return err
+	}
+	if *out != "" {
+		data, err := counters.EncodeSeries(series)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d samples of %s on %s to %s\n",
+			len(series.Samples), series.Workload, series.Machine, *out)
+		return nil
 	}
 	// CSV to stdout: cores, seconds, each backend event, each soft category.
 	codes := series.EventCodes()
@@ -148,7 +162,3 @@ func cmdCollect(args []string) error {
 	}
 	return nil
 }
-
-// cmdPredict and cmdBottleneck are completed in predict.go once the core
-// pipeline is wired in.
-var _ = os.Exit

@@ -25,6 +25,8 @@ func main() {
 		err = cmdCollect(os.Args[2:])
 	case "predict":
 		err = cmdPredict(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
 	case "bottleneck":
 		err = cmdBottleneck(os.Args[2:])
 	case "-h", "--help", "help":
@@ -46,8 +48,10 @@ func usage() {
 commands:
   list        list workloads and machines
   curve       print measured time and stall curves for a workload
-  collect     collect a measurement series (CSV)
-  predict     run the full ESTIMA prediction pipeline
+  collect     collect a measurement series (CSV, or JSON with -o)
+  predict     run the full ESTIMA prediction pipeline (-from replays a
+              series collected with 'collect -o')
+  sweep       predict the full workload x machine matrix in parallel
   bottleneck  report predicted stall bottlenecks by code site
 `)
 }

@@ -2,22 +2,27 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/core"
+	"repro/internal/counters"
 	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/workloads"
 )
 
 // cmdPredict runs the full ESTIMA pipeline: measure the workload on the
-// measurement machine up to -meascores, extrapolate to the target machine,
-// and (optionally) compare against the target machine's actual behaviour.
+// measurement machine up to -meascores (or replay a series collected earlier
+// with 'collect -o' via -from), extrapolate to the target machine, and
+// (optionally) compare against the target machine's actual behaviour.
 func cmdPredict(args []string) error {
 	fs := newFlagSet("predict")
 	workload := fs.String("w", "", "workload name")
 	measMach := fs.String("m", "Opteron", "measurement machine")
 	measCores := fs.Int("meascores", 0, "cores to measure on (default: one processor)")
 	targetMach := fs.String("target", "", "target machine (default: same as -m)")
+	from := fs.String("from", "", "load the measured series from this JSON file instead of simulating")
 	useSoft := fs.Bool("soft", false, "use software stalled cycles")
 	checkpoints := fs.Int("c", 2, "checkpoint count for function selection")
 	dataScale := fs.Float64("datascale", 1, "weak-scaling dataset factor for the target")
@@ -26,9 +31,46 @@ func cmdPredict(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	w, mm, err := lookup(*workload, *measMach)
-	if err != nil {
-		return err
+
+	var (
+		w        sim.Workload
+		mm       *machine.Config
+		measured *counters.Series
+	)
+	if *from != "" {
+		data, err := os.ReadFile(*from)
+		if err != nil {
+			return err
+		}
+		if measured, err = counters.DecodeSeries(data); err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d samples of %s on %s from %s\n",
+			len(measured.Samples), measured.Workload, measured.Machine, *from)
+		// The series may come from outside the simulator (a real perf
+		// collector), so its workload and machine need not be registered;
+		// they are only required for -compare and frequency scaling.
+		w = workloads.ByName(measured.Workload)
+		mm = machine.ByName(measured.Machine)
+		// Re-measuring comparable behaviour needs the scale the series was
+		// collected at; an externally collected file may not record it.
+		if measured.Scale > 0 {
+			*scale = measured.Scale
+		} else if *compare {
+			fmt.Printf("series records no dataset scale; -compare will measure at scale %g\n", *scale)
+		}
+	} else {
+		var err error
+		if w, mm, err = lookup(*workload, *measMach); err != nil {
+			return err
+		}
+		if *measCores <= 0 {
+			*measCores = mm.OneProcessorCores()
+		}
+		fmt.Printf("measuring %s on %s (1..%d cores)...\n", w.Name(), mm.Name, *measCores)
+		if measured, err = sim.CollectSeries(w, mm, sim.CoreRange(*measCores), *scale); err != nil {
+			return err
+		}
 	}
 	tm := mm
 	if *targetMach != "" {
@@ -36,23 +78,21 @@ func cmdPredict(args []string) error {
 			return fmt.Errorf("unknown target machine %q", *targetMach)
 		}
 	}
-	if *measCores <= 0 {
-		*measCores = mm.CoresPerChip * mm.ChipsPerSocket // one processor
-		if *measCores > mm.NumCores() {
-			*measCores = mm.NumCores()
-		}
+	if tm == nil {
+		return fmt.Errorf("series machine %q is not a preset; name a -target machine", measured.Machine)
 	}
-
-	fmt.Printf("measuring %s on %s (1..%d cores)...\n", w.Name(), mm.Name, *measCores)
-	measured, err := sim.CollectSeries(w, mm, sim.CoreRange(*measCores), *scale)
-	if err != nil {
-		return err
+	freqRatio := 1.0
+	if mm != nil {
+		freqRatio = mm.FreqGHz / tm.FreqGHz
+	} else {
+		fmt.Printf("series machine %q has no preset frequency; predictions are not frequency-scaled to %s\n",
+			measured.Machine, tm.Name)
 	}
 	targets := sim.CoreRange(tm.NumCores())
 	pred, err := core.Predict(measured, targets, core.Options{
 		UseSoftware:  *useSoft,
 		Checkpoints:  *checkpoints,
-		FreqRatio:    mm.FreqGHz / tm.FreqGHz,
+		FreqRatio:    freqRatio,
 		DatasetScale: *dataScale,
 	})
 	if err != nil {
@@ -67,6 +107,10 @@ func cmdPredict(args []string) error {
 	fmt.Printf("\npredicted scaling stop: %d cores\n\n", pred.ScalingStop())
 
 	var actual []float64
+	if *compare && w == nil {
+		fmt.Printf("series workload %q is not a registered workload; skipping -compare\n", measured.Workload)
+		*compare = false
+	}
 	if *compare {
 		fmt.Printf("measuring actual behaviour on %s (this is the expensive step ESTIMA avoids)...\n", tm.Name)
 		act, err := sim.CollectSeries(w, tm, targets, *scale**dataScale)
@@ -104,7 +148,7 @@ func cmdBottleneck(args []string) error {
 		return err
 	}
 	if *measCores <= 0 {
-		*measCores = mm.CoresPerChip * mm.ChipsPerSocket
+		*measCores = mm.OneProcessorCores()
 	}
 	measured, err := sim.CollectSeries(w, mm, sim.CoreRange(*measCores), *scale)
 	if err != nil {

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/workloads"
+)
+
+// sweepJob is one cell of the workload × machine prediction matrix.
+type sweepJob struct {
+	workload string
+	mach     *machine.Config
+}
+
+// sweepRow is the finished cell: the prediction summary or the error that
+// stopped it. Failures are per-cell so one pathological pair never sinks the
+// rest of the matrix.
+type sweepRow struct {
+	job       sweepJob
+	measCores int
+	stop      int
+	timeFull  float64
+	cacheHit  bool
+	err       error
+}
+
+// cmdSweep runs the full ESTIMA pipeline over every requested
+// workload × machine pair through a bounded worker pool: measure on one
+// processor (cached in -cache when set), extrapolate to the full machine,
+// and summarize the predictions as a table, CSV or JSON.
+func cmdSweep(args []string) error {
+	fs := newFlagSet("sweep")
+	wlSpec := fs.String("w", "", "comma-separated workloads (default: the paper's Table 4 set)")
+	machSpec := fs.String("m", "", "comma-separated machines (default: all presets)")
+	measCores := fs.Int("meascores", 0, "cores to measure on (default: one processor of each machine)")
+	scale := fs.Float64("scale", 1, "dataset scale factor")
+	soft := fs.Bool("soft", false, "use software stalled cycles")
+	workers := fs.Int("workers", 0, "worker pool size (default: NumCPU)")
+	format := fs.String("format", "table", "output format: table, csv or json")
+	cacheDir := fs.String("cache", "", "measurement store directory, reused across runs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		return fmt.Errorf("unknown format %q (want table, csv or json)", *format)
+	}
+
+	wls := workloads.Table4Names()
+	if *wlSpec != "" {
+		wls = strings.Split(*wlSpec, ",")
+	}
+	for _, n := range wls {
+		if workloads.ByName(n) == nil {
+			return fmt.Errorf("unknown workload %q (try 'estima list')", n)
+		}
+	}
+	machs := machine.Presets()
+	if *machSpec != "" {
+		machs = nil
+		for _, n := range strings.Split(*machSpec, ",") {
+			m := machine.ByName(n)
+			if m == nil {
+				return fmt.Errorf("unknown machine %q (try 'estima list')", n)
+			}
+			machs = append(machs, m)
+		}
+	}
+	var st *store.Store
+	if *cacheDir != "" {
+		var err error
+		if st, err = store.Open(*cacheDir); err != nil {
+			return err
+		}
+	}
+
+	var jobs []sweepJob
+	for _, w := range wls {
+		for _, m := range machs {
+			jobs = append(jobs, sweepJob{w, m})
+		}
+	}
+	if *workers <= 0 {
+		*workers = runtime.NumCPU()
+	}
+
+	// Bounded worker pool; results land at their job's index so output order
+	// is the deterministic workload × machine order, not completion order.
+	rows := make([]sweepRow, len(jobs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < *workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				rows[idx] = runSweepJob(jobs[idx], st, *measCores, *scale, *soft)
+			}
+		}()
+	}
+	for idx := range jobs {
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+
+	tbl := &report.Table{
+		Title:   fmt.Sprintf("prediction sweep (%d workloads x %d machines, scale %g)", len(wls), len(machs), *scale),
+		Headers: []string{"workload", "machine", "meas", "target", "stop", "t(full)s", "cache", "status"},
+	}
+	failures := 0
+	for _, r := range rows {
+		if r.err != nil {
+			failures++
+			tbl.AddRow(r.job.workload, r.job.mach.Name, r.measCores, r.job.mach.NumCores(),
+				"-", "-", cacheMark(r.cacheHit), r.err.Error())
+			continue
+		}
+		tbl.AddRow(r.job.workload, r.job.mach.Name, r.measCores, r.job.mach.NumCores(),
+			r.stop, report.Sec(r.timeFull), cacheMark(r.cacheHit), "ok")
+	}
+	switch *format {
+	case "csv":
+		fmt.Print(tbl.CSV())
+	case "json":
+		data, err := tbl.JSON()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+	default:
+		fmt.Print(tbl.Render())
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d predictions failed", failures, len(jobs))
+	}
+	return nil
+}
+
+func cacheMark(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// runSweepJob measures (or replays) one workload on one machine's
+// measurement window and predicts the full machine.
+func runSweepJob(j sweepJob, st *store.Store, measCores int, scale float64, soft bool) sweepRow {
+	r := sweepRow{job: j, measCores: measCores}
+	w := workloads.ByName(j.workload)
+	m := j.mach
+	if r.measCores <= 0 {
+		r.measCores = m.OneProcessorCores()
+	}
+	key := store.Key{Workload: j.workload, Machine: m.Name, MaxCores: r.measCores,
+		Scale: scale, Engine: sim.EngineVersion}
+	measured, hit, err := st.GetOrCollect(key, func() (*counters.Series, error) {
+		return sim.CollectSeries(w, m, sim.CoreRange(r.measCores), scale)
+	})
+	r.cacheHit = hit
+	if err != nil {
+		r.err = err
+		return r
+	}
+	pred, err := core.Predict(measured, sim.CoreRange(m.NumCores()), core.Options{
+		UseSoftware: soft,
+	})
+	if err != nil {
+		r.err = err
+		return r
+	}
+	r.stop = pred.ScalingStop()
+	r.timeFull = pred.Time[len(pred.Time)-1]
+	return r
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/store"
+	"repro/internal/workloads"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a buffer.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	ferr := fn()
+	w.Close()
+	return <-done, ferr
+}
+
+// TestSweepFullMatrixThroughWorkerPool runs the complete default workload
+// set against a small machine through the bounded pool, then re-runs it warm
+// and checks every cell was answered from the measurement store.
+func TestSweepFullMatrixThroughWorkerPool(t *testing.T) {
+	cache := t.TempDir()
+	args := []string{"-m", "Haswell", "-scale", "0.05", "-workers", "3",
+		"-cache", cache, "-format", "csv"}
+
+	cold, err := captureStdout(t, func() error { return cmdSweep(args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	wls := workloads.Table4Names()
+	for _, wl := range wls {
+		if !strings.Contains(cold, wl+",Haswell,") {
+			t.Errorf("sweep output missing matrix cell for %s", wl)
+		}
+	}
+	if n := strings.Count(cold, ",ok"); n != len(wls) {
+		t.Errorf("%d cells ok, want %d:\n%s", n, len(wls), cold)
+	}
+	st, err := store.Open(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != len(wls) {
+		t.Errorf("store holds %d series, want %d", st.Len(), len(wls))
+	}
+
+	warm, err := captureStdout(t, func() error { return cmdSweep(args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(warm, ",hit,ok"); n != len(wls) {
+		t.Errorf("warm sweep had %d cache hits, want %d:\n%s", n, len(wls), warm)
+	}
+}
+
+func TestSweepRejectsBadFlags(t *testing.T) {
+	if err := cmdSweep([]string{"-format", "xml"}); err == nil {
+		t.Error("bad format should error")
+	}
+	if err := cmdSweep([]string{"-w", "no-such-workload"}); err == nil {
+		t.Error("unknown workload should error")
+	}
+	if err := cmdSweep([]string{"-m", "no-such-machine"}); err == nil {
+		t.Error("unknown machine should error")
+	}
+}
+
+func TestRunSweepJobDefaultsMeasCoresToOneProcessor(t *testing.T) {
+	m := machine.ByName("Xeon20")
+	r := runSweepJob(sweepJob{workload: "blackscholes", mach: m}, nil, 0, 0.05, false)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.measCores != m.ChipsPerSocket*m.CoresPerChip {
+		t.Errorf("measCores = %d, want one processor (%d)", r.measCores, m.ChipsPerSocket*m.CoresPerChip)
+	}
+	if r.stop < 1 || r.stop > m.NumCores() || r.timeFull <= 0 {
+		t.Errorf("implausible prediction: stop=%d t=%g", r.stop, r.timeFull)
+	}
+	if r.cacheHit {
+		t.Error("nil store cannot hit")
+	}
+}

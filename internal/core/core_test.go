@@ -151,9 +151,16 @@ func TestWeakScalingDatasetFactor(t *testing.T) {
 // The Fig 5 scenario: measure intruder on one Opteron processor (12 cores),
 // predict the full machine (48 cores), and check the prediction captures
 // the application's scalability (stop point and shape), with bounded error.
+//
+// Shrinking the dataset changes intruder's contention profile (the stop
+// point collapses below the measurement window), so -short keeps full
+// dataset fidelity but samples the heavyweight actual-vs-predicted
+// comparison on a sparse target grid: the dense 36-point actual series is
+// ~10s of the full run's ~12s of simulation.
 func TestIntruderFig5EndToEnd(t *testing.T) {
+	step, maxErr := 1, 60.0
 	if testing.Short() {
-		t.Skip("full-machine simulation")
+		step = 7
 	}
 	m := machine.Opteron()
 	w := workloads.ByName("intruder")
@@ -164,8 +171,11 @@ func TestIntruderFig5EndToEnd(t *testing.T) {
 	// Evaluate on the extrapolated region (beyond the measurement window),
 	// as the paper's Table 4 does.
 	var targets []int
-	for c := 13; c <= 48; c++ {
+	for c := 13; c <= 48; c += step {
 		targets = append(targets, c)
+	}
+	if targets[len(targets)-1] != 48 {
+		targets = append(targets, 48)
 	}
 	actual, err := sim.CollectSeries(w, m, targets, 1)
 	if err != nil {
@@ -180,7 +190,7 @@ func TestIntruderFig5EndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("intruder 12→48: max err %.1f%%, mean %.1f%%", maxPct, meanPct)
-	if maxPct > 60 {
+	if maxPct > maxErr {
 		t.Errorf("max error %.1f%% too high", maxPct)
 	}
 	// The qualitative claim: ESTIMA never predicts that a non-scaling
@@ -195,9 +205,6 @@ func TestIntruderFig5EndToEnd(t *testing.T) {
 }
 
 func TestBottlenecksRankAndAttribute(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full-machine simulation")
-	}
 	m := machine.Opteron()
 	w := workloads.ByName("streamcluster")
 	measured, err := sim.CollectSeries(w, m, sim.CoreRange(12), 0.3)

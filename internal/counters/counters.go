@@ -183,6 +183,11 @@ type Series struct {
 	// Workload and Machine identify the series in reports.
 	Workload string
 	Machine  string
+	// Scale is the dataset scale the samples were collected at (0 when
+	// unknown, e.g. externally collected series). Consumers that need to
+	// re-measure comparable behaviour (predict -compare) use it instead of
+	// assuming a scale.
+	Scale float64
 	// Samples are ordered by ascending Cores.
 	Samples []Sample
 }

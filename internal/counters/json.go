@@ -1,0 +1,108 @@
+package counters
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// SeriesSchemaVersion is the on-disk schema version of serialized Series.
+// Bump it when the encoded shape changes incompatibly; DecodeSeries rejects
+// files written by a newer schema so stale tooling fails loudly instead of
+// silently misreading measurements.
+const SeriesSchemaVersion = 1
+
+// seriesJSON is the stable wire form of a Series. It is deliberately a
+// separate set of structs from Sample/Series so the in-memory types can
+// evolve without invalidating previously collected measurement files.
+type seriesJSON struct {
+	Version  int          `json:"version"`
+	Workload string       `json:"workload"`
+	Machine  string       `json:"machine"`
+	Scale    float64      `json:"scale,omitempty"`
+	Samples  []sampleJSON `json:"samples"`
+}
+
+type sampleJSON struct {
+	Cores          int                           `json:"cores"`
+	Seconds        float64                       `json:"seconds"`
+	Cycles         float64                       `json:"cycles"`
+	UsefulCycles   float64                       `json:"useful_cycles"`
+	HW             map[string]float64            `json:"hw,omitempty"`
+	Frontend       map[string]float64            `json:"frontend,omitempty"`
+	Soft           map[string]float64            `json:"soft,omitempty"`
+	Sites          map[string]map[string]float64 `json:"sites,omitempty"`
+	FootprintBytes uint64                        `json:"footprint_bytes,omitempty"`
+}
+
+// EncodeSeries serializes a series to the versioned JSON schema. The output
+// is canonical: encoding/json sorts map keys, so encoding the same series
+// twice (or decode-then-re-encode) produces identical bytes.
+func EncodeSeries(s *Series) ([]byte, error) {
+	if s == nil {
+		return nil, fmt.Errorf("counters: nil series")
+	}
+	doc := seriesJSON{
+		Version:  SeriesSchemaVersion,
+		Workload: s.Workload,
+		Machine:  s.Machine,
+		Scale:    s.Scale,
+		Samples:  make([]sampleJSON, len(s.Samples)),
+	}
+	for i := range s.Samples {
+		smp := &s.Samples[i]
+		doc.Samples[i] = sampleJSON{
+			Cores:          smp.Cores,
+			Seconds:        smp.Seconds,
+			Cycles:         smp.Cycles,
+			UsefulCycles:   smp.UsefulCycles,
+			HW:             smp.HW,
+			Frontend:       smp.Frontend,
+			Soft:           smp.Soft,
+			Sites:          smp.Sites,
+			FootprintBytes: smp.FootprintBytes,
+		}
+	}
+	out, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("counters: encoding series: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// DecodeSeries parses a series from the versioned JSON schema, validating
+// the version and the basic shape (identified series, positive core counts
+// in ascending order is restored via Sort).
+func DecodeSeries(data []byte) (*Series, error) {
+	var doc seriesJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("counters: decoding series: %w", err)
+	}
+	if doc.Version < 1 || doc.Version > SeriesSchemaVersion {
+		return nil, fmt.Errorf("counters: unsupported series schema version %d (supported: 1..%d)",
+			doc.Version, SeriesSchemaVersion)
+	}
+	if doc.Workload == "" || doc.Machine == "" {
+		return nil, fmt.Errorf("counters: series file missing workload/machine identity")
+	}
+	s := &Series{Workload: doc.Workload, Machine: doc.Machine, Scale: doc.Scale,
+		Samples: make([]Sample, len(doc.Samples))}
+	for i := range doc.Samples {
+		src := &doc.Samples[i]
+		if src.Cores < 1 {
+			return nil, fmt.Errorf("counters: sample %d has bad core count %d", i, src.Cores)
+		}
+		s.Samples[i] = Sample{
+			Cores:          src.Cores,
+			Seconds:        src.Seconds,
+			Cycles:         src.Cycles,
+			UsefulCycles:   src.UsefulCycles,
+			HW:             src.HW,
+			Frontend:       src.Frontend,
+			Soft:           src.Soft,
+			Sites:          src.Sites,
+			FootprintBytes: src.FootprintBytes,
+		}
+	}
+	s.Sort()
+	return s, nil
+}

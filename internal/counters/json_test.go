@@ -1,0 +1,101 @@
+package counters
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testSeries() *Series {
+	return &Series{
+		Workload: "intruder",
+		Machine:  "Opteron",
+		Scale:    0.5,
+		Samples: []Sample{
+			{
+				Cores: 1, Seconds: 1.25, Cycles: 2.625e9, UsefulCycles: 2.1e9,
+				HW:       map[string]float64{"0D5h": 3.5e8, "0D8h": 1.75e8},
+				Frontend: map[string]float64{"FE01h": 2e7},
+				Soft:     map[string]float64{SoftTxAborted: 0, SoftLockSpin: 1e6},
+				Sites: map[string]map[string]float64{
+					"tm_start/decoder": {"0D5h": 2e8, SoftTxAborted: 5e5},
+				},
+				FootprintBytes: 64 << 20,
+			},
+			{
+				Cores: 2, Seconds: 0.7, Cycles: 1.47e9, UsefulCycles: 2.1e9,
+				HW:   map[string]float64{"0D5h": 4.1e8, "0D8h": 2.0e8},
+				Soft: map[string]float64{SoftTxAborted: 3e7},
+			},
+		},
+	}
+}
+
+func TestSeriesJSONRoundTrip(t *testing.T) {
+	orig := testSeries()
+	data, err := EncodeSeries(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSeries(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Errorf("round trip changed the series:\norig %+v\ngot  %+v", orig, got)
+	}
+	// Re-encoding the decoded series must be byte-stable (canonical form).
+	again, err := EncodeSeries(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Errorf("re-encode not byte-stable:\nfirst:\n%s\nsecond:\n%s", data, again)
+	}
+}
+
+func TestDecodeSeriesUnsortedSamplesAreSorted(t *testing.T) {
+	s := testSeries()
+	s.Samples[0], s.Samples[1] = s.Samples[1], s.Samples[0]
+	data, err := EncodeSeries(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSeries(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Samples[0].Cores != 1 || got.Samples[1].Cores != 2 {
+		t.Errorf("decoded samples not sorted by cores: %d, %d",
+			got.Samples[0].Cores, got.Samples[1].Cores)
+	}
+}
+
+func TestDecodeSeriesRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        "{not json",
+		"no version":     `{"workload":"w","machine":"m","samples":[]}`,
+		"future version": `{"version":99,"workload":"w","machine":"m","samples":[]}`,
+		"no identity":    `{"version":1,"samples":[]}`,
+		"bad cores":      `{"version":1,"workload":"w","machine":"m","samples":[{"cores":0}]}`,
+	}
+	for name, in := range cases {
+		if _, err := DecodeSeries([]byte(in)); err == nil {
+			t.Errorf("%s: decode should fail", name)
+		}
+	}
+	if _, err := EncodeSeries(nil); err == nil {
+		t.Error("encoding a nil series should fail")
+	}
+}
+
+func TestEncodeSeriesVersioned(t *testing.T) {
+	data, err := EncodeSeries(testSeries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"version": 1`) {
+		t.Errorf("encoded series has no schema version:\n%s", data)
+	}
+}

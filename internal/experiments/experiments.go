@@ -14,6 +14,7 @@ import (
 	"repro/internal/counters"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/workloads"
 )
 
@@ -23,6 +24,10 @@ type Config struct {
 	Scale float64
 	// Workers bounds concurrent simulations; 0 means NumCPU.
 	Workers int
+	// CacheDir, when set, persists collected series in an internal/store
+	// cache there, so repeated experiment and bench runs across processes
+	// replay measurements instead of re-simulating them.
+	CacheDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -95,12 +100,18 @@ func Run(id string, cfg Config) (*Result, error) {
 }
 
 // env carries the config and a memoizing, parallel measurement collector
-// shared by one experiment run.
+// shared by one experiment run. When the config names a CacheDir, series
+// are also persisted through internal/store so later processes skip the
+// simulation entirely.
 type env struct {
 	cfg   Config
 	mu    sync.Mutex
 	cache map[seriesKey]*entry
 	sem   chan struct{}
+	store *store.Store
+	// collect produces one measurement; tests stub it to observe (or deny)
+	// simulator invocations. Defaults to sim.Collect.
+	collect func(w sim.Workload, m *machine.Config, cores int, scale float64) (counters.Sample, error)
 }
 
 type seriesKey struct {
@@ -117,11 +128,18 @@ type entry struct {
 }
 
 func newEnv(cfg Config) *env {
-	return &env{
-		cfg:   cfg,
-		cache: map[seriesKey]*entry{},
-		sem:   make(chan struct{}, cfg.Workers),
+	e := &env{
+		cfg:     cfg,
+		cache:   map[seriesKey]*entry{},
+		sem:     make(chan struct{}, cfg.Workers),
+		collect: sim.Collect,
 	}
+	if cfg.CacheDir != "" {
+		// A cache that cannot be opened disables persistence but never
+		// fails the run; the in-process memoization still applies.
+		e.store, _ = store.Open(cfg.CacheDir)
+	}
+	return e
 }
 
 // series measures workload on machine at cores 1..maxCores (memoized).
@@ -141,7 +159,14 @@ func (e *env) series(workload string, m *machine.Config, maxCores int, dataScale
 			ent.err = fmt.Errorf("unknown workload %q", workload)
 			return
 		}
-		s := &counters.Series{Workload: workload, Machine: m.Name}
+		sk := store.Key{Workload: workload, Machine: m.Name, MaxCores: maxCores,
+			Scale: e.cfg.Scale * dataScale, Engine: sim.EngineVersion}
+		if s, ok := e.store.Get(sk); ok {
+			ent.series = s
+			return
+		}
+		s := &counters.Series{Workload: workload, Machine: m.Name,
+			Scale: e.cfg.Scale * dataScale}
 		samples := make([]counters.Sample, maxCores)
 		errs := make([]error, maxCores)
 		var wg sync.WaitGroup
@@ -151,7 +176,7 @@ func (e *env) series(workload string, m *machine.Config, maxCores int, dataScale
 				defer wg.Done()
 				e.sem <- struct{}{}
 				defer func() { <-e.sem }()
-				samples[c-1], errs[c-1] = sim.Collect(w, m, c, e.cfg.Scale*dataScale)
+				samples[c-1], errs[c-1] = e.collect(w, m, c, e.cfg.Scale*dataScale)
 			}(c)
 		}
 		wg.Wait()
@@ -163,6 +188,7 @@ func (e *env) series(workload string, m *machine.Config, maxCores int, dataScale
 		}
 		s.Samples = samples
 		ent.series = s
+		e.store.Put(sk, s) // best-effort; a bad cache dir must not fail runs
 	})
 	return ent.series, ent.err
 }

@@ -1,8 +1,14 @@
 package experiments
 
 import (
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/counters"
+	"repro/internal/machine"
+	"repro/internal/sim"
 )
 
 // tinyScale keeps the smoke tests fast; the experiments only need enough
@@ -78,6 +84,77 @@ func TestFig6AtTinyScale(t *testing.T) {
 		if !strings.Contains(res.Text, name) {
 			t.Errorf("fig6 output missing %s", name)
 		}
+	}
+}
+
+// TestSeriesWarmCacheAcrossEnvs is the acceptance test for measurement
+// persistence: a second env (standing in for a second process) with the same
+// CacheDir must return the identical series without invoking the simulator.
+func TestSeriesWarmCacheAcrossEnvs(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Scale: 0.05, Workers: 2, CacheDir: dir}.withDefaults()
+	m := machine.Opteron()
+
+	cold := newEnv(cfg)
+	coldCalls := 0
+	cold.collect = func(w sim.Workload, mc *machine.Config, cores int, scale float64) (counters.Sample, error) {
+		coldCalls++
+		return sim.Collect(w, mc, cores, scale)
+	}
+	first, err := cold.series("intruder", m, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldCalls != 4 {
+		t.Fatalf("cold collection ran the simulator %d times, want 4", coldCalls)
+	}
+
+	warm := newEnv(cfg)
+	warm.collect = func(w sim.Workload, mc *machine.Config, cores int, scale float64) (counters.Sample, error) {
+		return counters.Sample{}, fmt.Errorf("simulator invoked on a warm cache (%s, %d cores)", w.Name(), cores)
+	}
+	second, err := warm.series("intruder", m, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("warm-cache series differs from the collected one")
+	}
+
+	// A different effective scale is a different key: it must re-collect,
+	// not replay the wrong series.
+	miss := newEnv(cfg)
+	missCalls := 0
+	miss.collect = func(w sim.Workload, mc *machine.Config, cores int, scale float64) (counters.Sample, error) {
+		missCalls++
+		return sim.Collect(w, mc, cores, scale)
+	}
+	if _, err := miss.series("intruder", m, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if missCalls != 4 {
+		t.Errorf("different dataScale should re-collect; simulator ran %d times, want 4", missCalls)
+	}
+}
+
+// TestSeriesNoCacheDirStillWorks pins the default path: without a CacheDir
+// the env memoizes in process and never persists.
+func TestSeriesNoCacheDirStillWorks(t *testing.T) {
+	e := newEnv(Config{Scale: 0.05, Workers: 2}.withDefaults())
+	m := machine.Opteron()
+	s1, err := e.series("genome", m, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := e.series("genome", m, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("in-process memoization should return the same series pointer")
+	}
+	if len(s1.Samples) != 3 {
+		t.Errorf("got %d samples, want 3", len(s1.Samples))
 	}
 }
 

@@ -74,6 +74,20 @@ func (c *Config) NumChips() int {
 	return c.Sockets * c.ChipsPerSocket
 }
 
+// OneProcessorCores returns the core count of a single processor (one
+// socket's worth of chips), clamped to the machine size — ESTIMA's default
+// measurement window ("measure on one processor, predict the machine").
+func (c *Config) OneProcessorCores() int {
+	n := c.ChipsPerSocket * c.CoresPerChip
+	if max := c.NumCores(); n > max {
+		n = max
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // Chip returns the global chip index of a core. Cores are numbered densely
 // chip by chip, socket by socket, matching ESTIMA's "fill a socket first"
 // placement policy (paper §4.1).

@@ -34,6 +34,25 @@ func TestPresetCoreCounts(t *testing.T) {
 	}
 }
 
+func TestOneProcessorCores(t *testing.T) {
+	cases := map[string]int{
+		"Haswell": 4,  // single chip: the whole machine
+		"Opteron": 12, // 2 chips x 6 cores per socket
+		"Xeon20":  10,
+		"Xeon48":  12,
+	}
+	for name, want := range cases {
+		if got := ByName(name).OneProcessorCores(); got != want {
+			t.Errorf("%s one processor = %d, want %d", name, got, want)
+		}
+	}
+	for _, m := range Presets() {
+		if n := m.OneProcessorCores(); n < 1 || n > m.NumCores() {
+			t.Errorf("%s one processor = %d out of range", m.Name, n)
+		}
+	}
+}
+
 func TestOpteronTopology(t *testing.T) {
 	m := Opteron()
 	if m.NumChips() != 8 {

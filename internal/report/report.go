@@ -4,6 +4,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -88,18 +89,57 @@ func (t *Table) Render() string {
 	return sb.String()
 }
 
-// CSV returns a comma-separated rendering (headers + rows).
+// CSV returns a comma-separated rendering (headers + rows). Cells containing
+// commas, quotes or newlines are quoted per RFC 4180, so free-form text
+// (e.g. error messages) cannot shift columns.
 func (t *Table) CSV() string {
 	var sb strings.Builder
-	if len(t.Headers) > 0 {
-		sb.WriteString(strings.Join(t.Headers, ","))
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			sb.WriteString(csvCell(cell))
+		}
 		sb.WriteString("\n")
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
 	}
 	for _, row := range t.Rows {
-		sb.WriteString(strings.Join(row, ","))
-		sb.WriteString("\n")
+		writeRow(row)
 	}
 	return sb.String()
+}
+
+func csvCell(cell string) string {
+	if !strings.ContainsAny(cell, ",\"\n\r") {
+		return cell
+	}
+	return `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+}
+
+// JSON returns a machine-readable rendering of the table: an object with
+// the title, the headers in column order, and the rows as arrays of strings
+// aligned with the headers. Column order is preserved (unlike a map-per-row
+// encoding), so consumers can zip headers with cells.
+func (t *Table) JSON() ([]byte, error) {
+	doc := struct {
+		Title   string     `json:"title,omitempty"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, t.Headers, t.Rows}
+	if doc.Headers == nil {
+		doc.Headers = []string{}
+	}
+	if doc.Rows == nil {
+		doc.Rows = [][]string{}
+	}
+	out, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("report: encoding table: %w", err)
+	}
+	return append(out, '\n'), nil
 }
 
 // Pct formats a percentage with one decimal.

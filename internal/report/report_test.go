@@ -1,6 +1,8 @@
 package report
 
 import (
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -38,6 +40,47 @@ func TestTableCSV(t *testing.T) {
 	want := "a,b\n1,2\nx,3.5\n"
 	if csv != want {
 		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestTableCSVQuotesSpecialCells(t *testing.T) {
+	tbl := &Table{Headers: []string{"a", "b"}}
+	tbl.AddRow("plain", `fit failed: x, y and "z"`)
+	csv := tbl.CSV()
+	want := "a,b\nplain,\"fit failed: x, y and \"\"z\"\"\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tbl := &Table{Title: "demo", Headers: []string{"a", "b"}}
+	tbl.AddRow(1, 2.5)
+	data, err := tbl.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("JSON output does not parse: %v\n%s", err, data)
+	}
+	if doc.Title != "demo" || !reflect.DeepEqual(doc.Headers, []string{"a", "b"}) {
+		t.Errorf("metadata = %+v", doc)
+	}
+	if !reflect.DeepEqual(doc.Rows, [][]string{{"1", "2.5"}}) {
+		t.Errorf("rows = %v", doc.Rows)
+	}
+	// An empty table encodes as empty arrays, not nulls.
+	empty, err := (&Table{}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(empty), "null") {
+		t.Errorf("empty table encodes nulls:\n%s", empty)
 	}
 }
 

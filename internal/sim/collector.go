@@ -7,6 +7,13 @@ import (
 	"repro/internal/machine"
 )
 
+// EngineVersion identifies the simulator's measurement semantics. It is part
+// of every persisted-measurement cache key (internal/store): bump it whenever
+// a change to the engine, the workload builders or the counter attribution
+// alters the numbers Collect produces, so stale cached series are never
+// mistaken for current ones.
+const EngineVersion = "sim-v1"
+
 // Workload is implemented by every benchmark in internal/workloads. Build
 // constructs the per-thread programs for one run: the builder carries the
 // machine, thread count and dataset scale.
@@ -34,7 +41,7 @@ func Collect(w Workload, mach *machine.Config, cores int, scale float64) (counte
 // CollectSeries measures the workload at every core count in coreCounts,
 // returning the Series the extrapolation pipeline consumes.
 func CollectSeries(w Workload, mach *machine.Config, coreCounts []int, scale float64) (*counters.Series, error) {
-	s := &counters.Series{Workload: w.Name(), Machine: mach.Name}
+	s := &counters.Series{Workload: w.Name(), Machine: mach.Name, Scale: scale}
 	for _, c := range coreCounts {
 		smp, err := Collect(w, mach, c, scale)
 		if err != nil {

@@ -1,0 +1,223 @@
+// Package store persists collected measurement series on disk so the
+// expensive "measure at few cores" phase of ESTIMA runs once per
+// (workload, machine, cores, scale, engine) and is replayed from cache by
+// every later prediction, experiment or benchmark process.
+//
+// The cache is content-addressed: the key's canonical form is hashed into
+// the file name, and each file embeds the key it was written for, so a
+// read verifies it got the series it asked for. Writes are atomic
+// (temp file + rename) and reads are corruption-tolerant — a truncated,
+// garbled or mismatched file is treated as a miss (and removed best-effort)
+// rather than an error, falling back to re-collection.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"repro/internal/counters"
+)
+
+// Key identifies one collected measurement series.
+type Key struct {
+	// Workload and Machine name the simulated benchmark and machine preset.
+	Workload string `json:"workload"`
+	Machine  string `json:"machine"`
+	// MaxCores is the top of the measured 1..MaxCores schedule.
+	MaxCores int `json:"max_cores"`
+	// Scale is the effective dataset scale of the runs.
+	Scale float64 `json:"scale"`
+	// Engine is the collector's version tag (sim.EngineVersion for the
+	// simulator; perf-based collectors use their own), so engine changes
+	// invalidate cached series.
+	Engine string `json:"engine"`
+}
+
+// id returns the canonical string form of the key.
+func (k Key) id() string {
+	return k.Workload + "\x00" + k.Machine + "\x00" + strconv.Itoa(k.MaxCores) +
+		"\x00" + strconv.FormatFloat(k.Scale, 'g', -1, 64) + "\x00" + k.Engine
+}
+
+// Hash returns the key's content address: the hex SHA-256 of its canonical
+// form, which doubles as the cache file's base name.
+func (k Key) Hash() string {
+	sum := sha256.Sum256([]byte(k.id()))
+	return hex.EncodeToString(sum[:])
+}
+
+// fileJSON is the on-disk envelope: the key the series was collected for
+// plus the versioned series document (counters.EncodeSeries bytes).
+type fileJSON struct {
+	Key    Key             `json:"key"`
+	Series json.RawMessage `json:"series"`
+}
+
+// Store is an on-disk series cache rooted at one directory. A nil *Store is
+// valid and behaves as an always-miss, discard-writes cache, so callers can
+// thread an optional store without nil checks.
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: opening %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory ("" for a nil store).
+func (st *Store) Dir() string {
+	if st == nil {
+		return ""
+	}
+	return st.dir
+}
+
+func (st *Store) path(k Key) string {
+	return filepath.Join(st.dir, k.Hash()+".json")
+}
+
+// Get returns the cached series for the key, or (nil, false) on a miss.
+// Unreadable, corrupted or key-mismatched files count as misses; the bad
+// file is removed best-effort so the next Put can replace it cleanly.
+func (st *Store) Get(k Key) (*counters.Series, bool) {
+	if st == nil {
+		return nil, false
+	}
+	path := st.path(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var env fileJSON
+	if err := json.Unmarshal(data, &env); err != nil || env.Key != k {
+		os.Remove(path)
+		return nil, false
+	}
+	s, err := counters.DecodeSeries(env.Series)
+	if err != nil {
+		os.Remove(path)
+		return nil, false
+	}
+	return s, true
+}
+
+// Put atomically writes the series under the key. A nil store discards the
+// write.
+func (st *Store) Put(k Key, s *counters.Series) error {
+	if st == nil {
+		return nil
+	}
+	doc, err := counters.EncodeSeries(s)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(&fileJSON{Key: k, Series: doc}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encoding entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(st.dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing entry: %w", firstErr(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), st.path(k)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Delete evicts one entry. Deleting an absent entry is not an error.
+func (st *Store) Delete(k Key) error {
+	if st == nil {
+		return nil
+	}
+	if err := os.Remove(st.path(k)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Len returns the number of cached entries.
+func (st *Store) Len() int {
+	if st == nil {
+		return 0
+	}
+	names, _ := filepath.Glob(filepath.Join(st.dir, "*.json"))
+	return len(names)
+}
+
+// Prune evicts the oldest entries (by modification time) until at most
+// keepNewest remain, returning how many were removed.
+func (st *Store) Prune(keepNewest int) (int, error) {
+	if st == nil || keepNewest < 0 {
+		return 0, nil
+	}
+	names, err := filepath.Glob(filepath.Join(st.dir, "*.json"))
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	type aged struct {
+		name string
+		mod  int64
+	}
+	entries := make([]aged, 0, len(names))
+	for _, name := range names {
+		fi, err := os.Stat(name)
+		if err != nil {
+			continue
+		}
+		entries = append(entries, aged{name, fi.ModTime().UnixNano()})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mod > entries[j].mod })
+	removed := 0
+	for _, e := range entries[min(keepNewest, len(entries)):] {
+		if err := os.Remove(e.name); err == nil {
+			removed++
+		}
+	}
+	return removed, nil
+}
+
+// GetOrCollect returns the cached series for the key, or runs collect and
+// caches its result. hit reports whether the series came from the cache.
+// Cache write failures are not fatal: the freshly collected series is still
+// returned.
+func (st *Store) GetOrCollect(k Key, collect func() (*counters.Series, error)) (s *counters.Series, hit bool, err error) {
+	if s, ok := st.Get(k); ok {
+		return s, true, nil
+	}
+	s, err = collect()
+	if err != nil {
+		return nil, false, err
+	}
+	st.Put(k, s) // best-effort; a read-only cache dir must not fail the run
+	return s, false, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/counters"
+)
+
+func sampleSeries(workload string, cores int) *counters.Series {
+	s := &counters.Series{Workload: workload, Machine: "Opteron"}
+	for c := 1; c <= cores; c++ {
+		s.Samples = append(s.Samples, counters.Sample{
+			Cores: c, Seconds: 1.0 / float64(c), Cycles: 2.1e9 / float64(c),
+			HW:   map[string]float64{"0D5h": 1e8 * float64(c)},
+			Soft: map[string]float64{counters.SoftTxAborted: 1e6 * float64(c*c)},
+		})
+	}
+	return s
+}
+
+func testKey(workload string) Key {
+	return Key{Workload: workload, Machine: "Opteron", MaxCores: 4, Scale: 0.5, Engine: "sim-test"}
+}
+
+func TestStoreHitMissRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("intruder")
+	if _, ok := st.Get(k); ok {
+		t.Fatal("empty store should miss")
+	}
+	want := sampleSeries("intruder", 4)
+	if err := st.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.Get(k)
+	if !ok {
+		t.Fatal("put then get should hit")
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("cached series differs:\nwant %+v\ngot  %+v", want, got)
+	}
+	// A different key (same workload, different scale) is a distinct entry.
+	other := k
+	other.Scale = 1
+	if _, ok := st.Get(other); ok {
+		t.Error("different scale should miss")
+	}
+}
+
+func TestKeyHashStableAndDistinct(t *testing.T) {
+	k := testKey("genome")
+	if k.Hash() != k.Hash() {
+		t.Error("hash not deterministic")
+	}
+	seen := map[string]Key{}
+	for _, variant := range []Key{
+		k,
+		{Workload: "genome2", Machine: "Opteron", MaxCores: 4, Scale: 0.5, Engine: "sim-test"},
+		{Workload: "genome", Machine: "Xeon20", MaxCores: 4, Scale: 0.5, Engine: "sim-test"},
+		{Workload: "genome", Machine: "Opteron", MaxCores: 8, Scale: 0.5, Engine: "sim-test"},
+		{Workload: "genome", Machine: "Opteron", MaxCores: 4, Scale: 0.25, Engine: "sim-test"},
+		{Workload: "genome", Machine: "Opteron", MaxCores: 4, Scale: 0.5, Engine: "sim-v2"},
+	} {
+		h := variant.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("hash collision between %+v and %+v", prev, variant)
+		}
+		seen[h] = variant
+	}
+}
+
+func TestStoreCorruptedFileFallsBackToCollection(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("yada")
+	if err := st.Put(k, sampleSeries("yada", 4)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the cache file in place (e.g. a crashed writer or disk error).
+	path := filepath.Join(st.Dir(), k.Hash()+".json")
+	if err := os.WriteFile(path, []byte(`{"key": {"workload": "ya`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(k); ok {
+		t.Fatal("corrupted entry should read as a miss")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupted entry should have been removed")
+	}
+	// GetOrCollect re-collects and repopulates instead of erroring.
+	collected := 0
+	got, hit, err := st.GetOrCollect(k, func() (*counters.Series, error) {
+		collected++
+		return sampleSeries("yada", 4), nil
+	})
+	if err != nil || hit || collected != 1 || got == nil {
+		t.Fatalf("after corruption: got=%v hit=%v collected=%d err=%v", got != nil, hit, collected, err)
+	}
+	if _, ok := st.Get(k); !ok {
+		t.Error("re-collection should have repopulated the cache")
+	}
+}
+
+func TestStoreRejectsKeyMismatch(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("kmeans")
+	if err := st.Put(k, sampleSeries("kmeans", 4)); err != nil {
+		t.Fatal(err)
+	}
+	// Move the entry to another key's address: the embedded key no longer
+	// matches what the reader asked for, so it must miss.
+	other := testKey("ssca2")
+	if err := os.Rename(filepath.Join(st.Dir(), k.Hash()+".json"),
+		filepath.Join(st.Dir(), other.Hash()+".json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(other); ok {
+		t.Error("entry with mismatched embedded key should miss")
+	}
+}
+
+func TestGetOrCollectWarmCache(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("vacation-low")
+	calls := 0
+	collect := func() (*counters.Series, error) {
+		calls++
+		return sampleSeries("vacation-low", 4), nil
+	}
+	first, hit, err := st.GetOrCollect(k, collect)
+	if err != nil || hit {
+		t.Fatalf("cold: hit=%v err=%v", hit, err)
+	}
+	second, hit, err := st.GetOrCollect(k, collect)
+	if err != nil || !hit {
+		t.Fatalf("warm: hit=%v err=%v", hit, err)
+	}
+	if calls != 1 {
+		t.Errorf("collector ran %d times, want 1", calls)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("warm read differs from the collected series")
+	}
+}
+
+func TestStoreDeleteAndPrune(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []Key{testKey("a"), testKey("b"), testKey("c")}
+	for i, k := range keys {
+		if err := st.Put(k, sampleSeries(k.Workload, 2)); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes so Prune's age order is deterministic.
+		old := time.Now().Add(time.Duration(i-len(keys)) * time.Hour)
+		if err := os.Chtimes(filepath.Join(st.Dir(), k.Hash()+".json"), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", st.Len())
+	}
+	if err := st.Delete(keys[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete(keys[1]); err != nil {
+		t.Error("double delete should be a no-op, got", err)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len after delete = %d, want 2", st.Len())
+	}
+	removed, err := st.Prune(1)
+	if err != nil || removed != 1 {
+		t.Fatalf("Prune: removed=%d err=%v", removed, err)
+	}
+	// The newest entry (c) survives.
+	if _, ok := st.Get(keys[2]); !ok {
+		t.Error("prune evicted the newest entry")
+	}
+	if _, ok := st.Get(keys[0]); ok {
+		t.Error("prune kept the oldest entry")
+	}
+}
+
+func TestNilStoreIsAlwaysMiss(t *testing.T) {
+	var st *Store
+	k := testKey("nil")
+	if _, ok := st.Get(k); ok {
+		t.Error("nil store should miss")
+	}
+	if err := st.Put(k, sampleSeries("nil", 1)); err != nil {
+		t.Error("nil store Put should be a no-op, got", err)
+	}
+	if err := st.Delete(k); err != nil {
+		t.Error(err)
+	}
+	if st.Len() != 0 || st.Dir() != "" {
+		t.Error("nil store should be empty")
+	}
+	calls := 0
+	_, hit, err := st.GetOrCollect(k, func() (*counters.Series, error) {
+		calls++
+		return sampleSeries("nil", 1), nil
+	})
+	if err != nil || hit || calls != 1 {
+		t.Errorf("nil store GetOrCollect: hit=%v calls=%d err=%v", hit, calls, err)
+	}
+}
