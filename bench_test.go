@@ -52,3 +52,4 @@ func BenchmarkTable7CrossMachine(b *testing.B)            { benchExperiment(b, "
 func BenchmarkAblationAggregateStalls(b *testing.B)       { benchExperiment(b, "ablation-aggregate") }
 func BenchmarkAblationCheckpoints(b *testing.B)           { benchExperiment(b, "ablation-checkpoints") }
 func BenchmarkAblationKernels(b *testing.B)               { benchExperiment(b, "ablation-kernels") }
+func BenchmarkUncertaintyBands(b *testing.B)              { benchExperiment(b, "uncertainty") }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/counters"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/workloads"
 )
 
@@ -39,6 +40,17 @@ func lookup(workload, mach string) (sim.Workload, *machine.Config, error) {
 		return nil, nil, fmt.Errorf("unknown machine %q (try 'estima list')", mach)
 	}
 	return w, m, nil
+}
+
+// contiguousFromOne reports whether cores is exactly the schedule 1..N —
+// the only shape the measurement store is keyed by.
+func contiguousFromOne(cores []int) bool {
+	for i, c := range cores {
+		if c != i+1 {
+			return false
+		}
+	}
+	return len(cores) > 0
 }
 
 // parseCores parses "1,2,4" or "1-12" style core lists.
@@ -116,6 +128,7 @@ func cmdCollect(args []string) error {
 	coreSpec := fs.String("cores", "all", "core counts")
 	scale := fs.Float64("scale", 1, "dataset scale factor")
 	out := fs.String("o", "", "write the series as JSON to this file (for 'predict -from')")
+	cacheDir := fs.String("cache", "", "measurement store directory, reused across runs (applies to contiguous 1..N core schedules)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,9 +140,24 @@ func cmdCollect(args []string) error {
 	if err != nil {
 		return err
 	}
-	series, err := sim.CollectSeries(w, m, cores, *scale)
+	// The store is keyed by 1..MaxCores schedules (the shape sweep,
+	// predict and the experiments collect); sparse core lists bypass it.
+	var st *store.Store
+	if *cacheDir != "" && contiguousFromOne(cores) {
+		if st, err = store.Open(*cacheDir); err != nil {
+			return err
+		}
+	}
+	key := store.Key{Workload: w.Name(), Machine: m.Name, MaxCores: len(cores),
+		Scale: *scale, Engine: sim.EngineVersion}
+	series, hit, err := st.GetOrCollect(key, func() (*counters.Series, error) {
+		return sim.CollectSeries(w, m, cores, *scale)
+	})
 	if err != nil {
 		return err
+	}
+	if hit {
+		fmt.Fprintf(os.Stderr, "replayed the measurement series from %s\n", st.Dir())
 	}
 	if *out != "" {
 		data, err := counters.EncodeSeries(series)

@@ -3,12 +3,15 @@ package main
 import (
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/counters"
 	"repro/internal/machine"
+	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/workloads"
 )
 
@@ -28,8 +31,21 @@ func cmdPredict(args []string) error {
 	dataScale := fs.Float64("datascale", 1, "weak-scaling dataset factor for the target")
 	scale := fs.Float64("scale", 1, "dataset scale of the runs")
 	compare := fs.Bool("compare", true, "also measure the target machine and report errors")
+	boot := fs.Int("boot", 0, "residual-bootstrap resamples for confidence bands (0 = off)")
+	ci := fs.Float64("ci", core.DefaultCILevel, "two-sided confidence level (%) of the -boot bands")
+	cacheDir := fs.String("cache", "", "measurement store directory, reused across runs")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *boot > 0 && (*ci <= 0 || *ci >= 100) {
+		return fmt.Errorf("-ci %g out of range (0, 100)", *ci)
+	}
+	var st *store.Store
+	if *cacheDir != "" {
+		var err error
+		if st, err = store.Open(*cacheDir); err != nil {
+			return err
+		}
 	}
 
 	var (
@@ -68,8 +84,17 @@ func cmdPredict(args []string) error {
 			*measCores = mm.OneProcessorCores()
 		}
 		fmt.Printf("measuring %s on %s (1..%d cores)...\n", w.Name(), mm.Name, *measCores)
-		if measured, err = sim.CollectSeries(w, mm, sim.CoreRange(*measCores), *scale); err != nil {
+		key := store.Key{Workload: w.Name(), Machine: mm.Name, MaxCores: *measCores,
+			Scale: *scale, Engine: sim.EngineVersion}
+		var hit bool
+		measured, hit, err = st.GetOrCollect(key, func() (*counters.Series, error) {
+			return sim.CollectSeries(w, mm, sim.CoreRange(*measCores), *scale)
+		})
+		if err != nil {
 			return err
+		}
+		if hit {
+			fmt.Printf("replayed the measurement series from %s\n", st.Dir())
 		}
 	}
 	tm := mm
@@ -94,16 +119,33 @@ func cmdPredict(args []string) error {
 		Checkpoints:  *checkpoints,
 		FreqRatio:    freqRatio,
 		DatasetScale: *dataScale,
+		Bootstrap:    *boot,
+		CILevel:      *ci,
 	})
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("\nselected extrapolation functions:\n")
-	for cat, f := range pred.CategoryFits {
-		fmt.Printf("  %-14s %s\n", cat, f)
+	cats := make([]string, 0, len(pred.CategoryFits))
+	for cat := range pred.CategoryFits {
+		cats = append(cats, cat)
 	}
-	fmt.Printf("  %-14s %s (scaling factor)\n", "factor", pred.FactorFit)
+	sort.Strings(cats)
+	for _, cat := range cats {
+		if pred.Stability != nil {
+			fmt.Printf("  %-14s %s  stability %.2f\n", cat, pred.CategoryFits[cat], pred.Stability[cat])
+			continue
+		}
+		fmt.Printf("  %-14s %s\n", cat, pred.CategoryFits[cat])
+	}
+	if pred.Stability != nil {
+		fmt.Printf("  %-14s %s (scaling factor)  stability %.2f\n", "factor", pred.FactorFit, pred.FactorStability)
+		fmt.Printf("\nbootstrap: %d/%d realistic resamples, %.0f%% confidence bands\n",
+			pred.Bootstraps, *boot, pred.CILevel)
+	} else {
+		fmt.Printf("  %-14s %s (scaling factor)\n", "factor", pred.FactorFit)
+	}
 	fmt.Printf("\npredicted scaling stop: %d cores\n\n", pred.ScalingStop())
 
 	var actual []float64
@@ -113,21 +155,38 @@ func cmdPredict(args []string) error {
 	}
 	if *compare {
 		fmt.Printf("measuring actual behaviour on %s (this is the expensive step ESTIMA avoids)...\n", tm.Name)
-		act, err := sim.CollectSeries(w, tm, targets, *scale**dataScale)
+		key := store.Key{Workload: w.Name(), Machine: tm.Name, MaxCores: tm.NumCores(),
+			Scale: *scale * *dataScale, Engine: sim.EngineVersion}
+		act, _, err := st.GetOrCollect(key, func() (*counters.Series, error) {
+			return sim.CollectSeries(w, tm, targets, *scale**dataScale)
+		})
 		if err != nil {
 			return err
 		}
 		actual = act.Times()
 	}
-	fmt.Printf("%5s %14s %14s %8s\n", "cores", "predicted(s)", "actual(s)", "err%")
-	for i, c := range pred.TargetCores {
-		if actual != nil {
-			fmt.Printf("%5.0f %14.6f %14.6f %8.1f\n", c, pred.Time[i], actual[i],
-				stats.AbsPctErr(pred.Time[i], actual[i]))
-		} else {
-			fmt.Printf("%5.0f %14.6f %14s %8s\n", c, pred.Time[i], "-", "-")
-		}
+	tbl := &report.Table{}
+	if pred.TimeLo != nil {
+		tbl.Headers = []string{"cores", "lo(s)", "predicted(s)", "hi(s)", "actual(s)", "err%"}
+	} else {
+		tbl.Headers = []string{"cores", "predicted(s)", "actual(s)", "err%"}
 	}
+	for i, c := range pred.TargetCores {
+		row := []any{int(c)}
+		if pred.TimeLo != nil {
+			row = append(row, report.Band{Lo: pred.TimeLo[i], Est: pred.Time[i],
+				Hi: pred.TimeHi[i], Format: report.Sec})
+		} else {
+			row = append(row, report.Sec(pred.Time[i]))
+		}
+		if actual != nil {
+			row = append(row, report.Sec(actual[i]), report.Pct(stats.AbsPctErr(pred.Time[i], actual[i])))
+		} else {
+			row = append(row, "-", "-")
+		}
+		tbl.AddRow(row...)
+	}
+	fmt.Print(tbl.Render())
 	return nil
 }
 

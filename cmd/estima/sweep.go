@@ -30,6 +30,8 @@ type sweepRow struct {
 	measCores int
 	stop      int
 	timeFull  float64
+	timeLo    float64
+	timeHi    float64
 	cacheHit  bool
 	err       error
 }
@@ -48,6 +50,8 @@ func cmdSweep(args []string) error {
 	workers := fs.Int("workers", 0, "worker pool size (default: NumCPU)")
 	format := fs.String("format", "table", "output format: table, csv or json")
 	cacheDir := fs.String("cache", "", "measurement store directory, reused across runs")
+	boot := fs.Int("boot", 0, "residual-bootstrap resamples for confidence bands (0 = off)")
+	ci := fs.Float64("ci", core.DefaultCILevel, "two-sided confidence level (%) of the -boot bands")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,6 +59,9 @@ func cmdSweep(args []string) error {
 	case "table", "csv", "json":
 	default:
 		return fmt.Errorf("unknown format %q (want table, csv or json)", *format)
+	}
+	if *boot > 0 && (*ci <= 0 || *ci >= 100) {
+		return fmt.Errorf("-ci %g out of range (0, 100)", *ci)
 	}
 
 	wls := workloads.Table4Names()
@@ -105,7 +112,7 @@ func cmdSweep(args []string) error {
 		go func() {
 			defer wg.Done()
 			for idx := range next {
-				rows[idx] = runSweepJob(jobs[idx], st, *measCores, *scale, *soft)
+				rows[idx] = runSweepJob(jobs[idx], st, *measCores, *scale, *soft, *boot, *ci)
 			}
 		}()
 	}
@@ -119,16 +126,32 @@ func cmdSweep(args []string) error {
 		Title:   fmt.Sprintf("prediction sweep (%d workloads x %d machines, scale %g)", len(wls), len(machs), *scale),
 		Headers: []string{"workload", "machine", "meas", "target", "stop", "t(full)s", "cache", "status"},
 	}
+	if *boot > 0 {
+		tbl.Title = fmt.Sprintf("prediction sweep (%d workloads x %d machines, scale %g, %d resamples at %g%% CI)",
+			len(wls), len(machs), *scale, *boot, *ci)
+		tbl.Headers = []string{"workload", "machine", "meas", "target", "stop",
+			"t(full)lo", "t(full)s", "t(full)hi", "cache", "status"}
+	}
 	failures := 0
 	for _, r := range rows {
 		if r.err != nil {
 			failures++
-			tbl.AddRow(r.job.workload, r.job.mach.Name, r.measCores, r.job.mach.NumCores(),
-				"-", "-", cacheMark(r.cacheHit), r.err.Error())
+			row := []any{r.job.workload, r.job.mach.Name, r.measCores, r.job.mach.NumCores(), "-"}
+			if *boot > 0 {
+				row = append(row, "-", "-", "-")
+			} else {
+				row = append(row, "-")
+			}
+			tbl.AddRow(append(row, cacheMark(r.cacheHit), r.err.Error())...)
 			continue
 		}
-		tbl.AddRow(r.job.workload, r.job.mach.Name, r.measCores, r.job.mach.NumCores(),
-			r.stop, report.Sec(r.timeFull), cacheMark(r.cacheHit), "ok")
+		row := []any{r.job.workload, r.job.mach.Name, r.measCores, r.job.mach.NumCores(), r.stop}
+		if *boot > 0 {
+			row = append(row, report.Band{Lo: r.timeLo, Est: r.timeFull, Hi: r.timeHi, Format: report.Sec})
+		} else {
+			row = append(row, report.Sec(r.timeFull))
+		}
+		tbl.AddRow(append(row, cacheMark(r.cacheHit), "ok")...)
 	}
 	switch *format {
 	case "csv":
@@ -156,8 +179,9 @@ func cacheMark(hit bool) string {
 }
 
 // runSweepJob measures (or replays) one workload on one machine's
-// measurement window and predicts the full machine.
-func runSweepJob(j sweepJob, st *store.Store, measCores int, scale float64, soft bool) sweepRow {
+// measurement window and predicts the full machine (with bootstrap bands
+// when boot > 0).
+func runSweepJob(j sweepJob, st *store.Store, measCores int, scale float64, soft bool, boot int, ci float64) sweepRow {
 	r := sweepRow{job: j, measCores: measCores}
 	w := workloads.ByName(j.workload)
 	m := j.mach
@@ -174,8 +198,14 @@ func runSweepJob(j sweepJob, st *store.Store, measCores int, scale float64, soft
 		r.err = err
 		return r
 	}
+	// Workers: 1 — parallelism lives at the job level here; letting every
+	// concurrent job open its own NumCPU-wide fitting pool would
+	// oversubscribe the machine by workers × NumCPU.
 	pred, err := core.Predict(measured, sim.CoreRange(m.NumCores()), core.Options{
 		UseSoftware: soft,
+		Bootstrap:   boot,
+		CILevel:     ci,
+		Workers:     1,
 	})
 	if err != nil {
 		r.err = err
@@ -183,5 +213,9 @@ func runSweepJob(j sweepJob, st *store.Store, measCores int, scale float64, soft
 	}
 	r.stop = pred.ScalingStop()
 	r.timeFull = pred.Time[len(pred.Time)-1]
+	if pred.TimeLo != nil {
+		r.timeLo = pred.TimeLo[len(pred.TimeLo)-1]
+		r.timeHi = pred.TimeHi[len(pred.TimeHi)-1]
+	}
 	return r
 }

@@ -85,7 +85,7 @@ func TestSweepRejectsBadFlags(t *testing.T) {
 
 func TestRunSweepJobDefaultsMeasCoresToOneProcessor(t *testing.T) {
 	m := machine.ByName("Xeon20")
-	r := runSweepJob(sweepJob{workload: "blackscholes", mach: m}, nil, 0, 0.05, false)
+	r := runSweepJob(sweepJob{workload: "blackscholes", mach: m}, nil, 0, 0.05, false, 0, 0)
 	if r.err != nil {
 		t.Fatal(r.err)
 	}

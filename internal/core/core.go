@@ -20,7 +20,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/counters"
 	"repro/internal/fit"
@@ -51,6 +50,19 @@ type Options struct {
 	// DatasetScale is the weak-scaling dataset factor of §4.5: extrapolated
 	// stall values are scaled by it before the time correlation. 0 means 1.
 	DatasetScale float64
+	// Workers bounds the worker pool the pipeline stages fan out over
+	// (per-category fitting, bootstrap replicates). 0 means NumCPU.
+	Workers int
+	// Bootstrap, when positive, runs that many residual-bootstrap
+	// resamples after the point prediction, filling Prediction.TimeLo,
+	// TimeHi and the fit-stability scores. 0 disables bootstrapping.
+	Bootstrap int
+	// CILevel is the two-sided confidence level of the bootstrap bands in
+	// percent. 0 means DefaultCILevel (90). Only meaningful with Bootstrap.
+	CILevel float64
+	// Seed seeds the bootstrap's deterministic resampling RNG. 0 means 1,
+	// so identical inputs always produce identical bands.
+	Seed int64
 }
 
 // Prediction is the result of one ESTIMA run.
@@ -76,148 +88,30 @@ type Prediction struct {
 	// Time is the predicted execution time in seconds (on the target
 	// machine when FreqRatio was set) over TargetCores.
 	Time []float64
+	// TimeLo and TimeHi bound the CILevel two-sided bootstrap confidence
+	// band around Time (nil unless Options.Bootstrap was set). The band
+	// always contains the point estimate.
+	TimeLo, TimeHi []float64
+	// CILevel is the band's confidence level in percent (0 without
+	// bootstrapping).
+	CILevel float64
+	// Bootstraps is the number of bootstrap replicates that produced a
+	// realistic prediction and entered the band.
+	Bootstraps int
+	// Stability maps each fitted category to a fit-stability score in
+	// (0, 1]: the fraction of bootstrap refits that converged, damped by
+	// the spread of the category's resampled predictions. Near 1 means
+	// the selected function is insensitive to measurement noise.
+	Stability map[string]float64
+	// FactorStability is the same score for the scaling-factor fit.
+	FactorStability float64
 }
 
-// Predict runs steps B and C on a measured series.
+// Predict runs steps B and C on a measured series (plus the bootstrap
+// stage when Options.Bootstrap is set). It is a thin wrapper over the
+// staged Pipeline; callers needing individual stages use NewPipeline.
 func Predict(series *counters.Series, targetCores []int, opt Options) (*Prediction, error) {
-	if len(series.Samples) < 2 {
-		return nil, ErrTooFewSamples
-	}
-	if len(targetCores) == 0 {
-		return nil, errors.New("core: no target core counts")
-	}
-	xs := series.Cores()
-	times := series.Times()
-	targets := make([]float64, len(targetCores))
-	for i, c := range targetCores {
-		if c < 1 {
-			return nil, fmt.Errorf("core: bad target core count %d", c)
-		}
-		targets[i] = float64(c)
-	}
-	sort.Float64s(targets)
-	fopt := fit.Options{
-		Checkpoints: opt.Checkpoints,
-		MaxX:        targets[len(targets)-1],
-		Kernels:     opt.Kernels,
-		// Between the measurement window and a 4x larger machine, stall
-		// categories realistically grow by at most ~an order of magnitude;
-		// 20x headroom keeps runaway rationals out without constraining
-		// real trends. The tail-slope cap additionally ties the allowed
-		// growth to the trend visible at the end of the window.
-		MaxGrowth:    20,
-		TailSlopeCap: 4,
-	}
-
-	p := &Prediction{
-		Workload:       series.Workload,
-		MeasuredOn:     series.Machine,
-		MeasuredCores:  xs,
-		TargetCores:    targets,
-		CategoryFits:   map[string]*fit.Fit{},
-		CategoryValues: map[string][]float64{},
-	}
-
-	// Step B: extrapolate each stall category individually.
-	type category struct {
-		name string
-		ys   []float64
-	}
-	var cats []category
-	for _, code := range series.EventCodes() {
-		cats = append(cats, category{code, series.Event(code)})
-	}
-	if opt.IncludeFrontend {
-		seen := map[string]bool{}
-		for i := range series.Samples {
-			for code := range series.Samples[i].Frontend {
-				if !seen[code] {
-					seen[code] = true
-					cats = append(cats, category{code, series.FrontendEvent(code)})
-				}
-			}
-		}
-	}
-	if opt.UseSoftware {
-		for _, name := range series.SoftNames() {
-			cats = append(cats, category{name, series.SoftCategory(name)})
-		}
-	}
-	sort.Slice(cats, func(i, j int) bool { return cats[i].name < cats[j].name })
-
-	dataScale := opt.DatasetScale
-	if dataScale <= 0 {
-		dataScale = 1
-	}
-	for _, cat := range cats {
-		if allNearZero(cat.ys) {
-			p.CategoryValues[cat.name] = make([]float64, len(targets))
-			continue
-		}
-		f, err := approximateRelaxing(xs, cat.ys, fopt)
-		if err != nil {
-			return nil, fmt.Errorf("core: extrapolating %s for %s: %w", cat.name, series.Workload, err)
-		}
-		p.CategoryFits[cat.name] = f
-		vals := make([]float64, len(targets))
-		for i, x := range targets {
-			v := f.Eval(x) * dataScale
-			if v < 0 {
-				v = 0
-			}
-			vals[i] = v
-		}
-		p.CategoryValues[cat.name] = vals
-	}
-
-	// Combine: total stalled cycles per core over the targets.
-	p.StallsPerCore = make([]float64, len(targets))
-	for i := range targets {
-		total := 0.0
-		for _, vals := range p.CategoryValues {
-			total += vals[i]
-		}
-		p.StallsPerCore[i] = total / targets[i]
-	}
-
-	// Step C: the scaling factor connecting stalls per core to time. The
-	// factor is computed from the measurements, extrapolated with the same
-	// kernels, and selected for maximum correlation of the produced time
-	// predictions with the extrapolated stalls per core (§3.1.3).
-	measuredSPC := series.StallsPerCore(opt.UseSoftware, opt.IncludeFrontend)
-	factor := make([]float64, len(xs))
-	for i := range xs {
-		if measuredSPC[i] <= 0 {
-			return nil, fmt.Errorf("core: zero measured stalls per core at %v cores", xs[i])
-		}
-		factor[i] = times[i] / measuredSPC[i]
-	}
-	factorOpt := fopt
-	// Sanity bounds on the produced time predictions: relative to the
-	// highest-core measurement, adding cores cannot plausibly slow the
-	// application by more than ~4x or speed it up by more than ~10x.
-	lastTime := times[len(times)-1]
-	factorOpt.LoBound = lastTime / 10
-	factorOpt.HiBound = lastTime * 4
-	ffit, err := fit.SelectByCorrelation(xs, factor, targets, p.StallsPerCore, factorOpt)
-	if err != nil {
-		return nil, fmt.Errorf("core: fitting scaling factor for %s: %w", series.Workload, err)
-	}
-	p.FactorFit = ffit
-
-	freq := opt.FreqRatio
-	if freq <= 0 {
-		freq = 1
-	}
-	p.Time = make([]float64, len(targets))
-	for i, x := range targets {
-		t := ffit.Eval(x) * p.StallsPerCore[i] * freq
-		if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
-			return nil, fmt.Errorf("core: unrealistic time prediction %v at %v cores", t, x)
-		}
-		p.Time[i] = t
-	}
-	return p, nil
+	return NewPipeline(opt).Run(series, targetCores)
 }
 
 // approximateRelaxing runs the Figure 4 approximation, progressively

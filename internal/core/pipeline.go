@@ -1,0 +1,365 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/counters"
+	"repro/internal/fit"
+)
+
+// Pipeline is the staged form of the §3 prediction pipeline. Each stage is
+// independently callable and testable:
+//
+//	Extrapolate  step B: fit every stall category and evaluate it over the
+//	             targets, fanned out across a bounded worker pool;
+//	Combine      sum the per-category extrapolations into total stalled
+//	             cycles per core;
+//	SelectFactor step C: fit the stalls-to-time scaling factor by
+//	             correlation;
+//	Times        apply the factor (and cross-machine frequency ratio) to
+//	             produce the execution-time predictions.
+//
+// Run composes the stages — plus the optional residual-bootstrap stage that
+// turns point estimates into confidence bands — and Predict is a thin
+// wrapper over Run.
+type Pipeline struct {
+	opt Options
+}
+
+// NewPipeline captures the options shared by all stages.
+func NewPipeline(opt Options) *Pipeline {
+	return &Pipeline{opt: opt}
+}
+
+// workers bounds the stage fan-out: Options.Workers (default NumCPU),
+// never more than the number of independent work items.
+func (pl *Pipeline) workers(items int) int {
+	w := pl.opt.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runIndexed fans fn(i) for i in [0, n) across the pipeline's worker pool
+// and waits for all of them. fn writes results by index, so completion
+// order never affects the outcome.
+func (pl *Pipeline) runIndexed(n int, fn func(i int)) {
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < pl.workers(n); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// fitOptions is the fit configuration shared by the extrapolation and
+// factor stages; MaxX tracks the largest requested target.
+func (pl *Pipeline) fitOptions(targets []float64) fit.Options {
+	return fit.Options{
+		Checkpoints: pl.opt.Checkpoints,
+		MaxX:        targets[len(targets)-1],
+		Kernels:     pl.opt.Kernels,
+		// Between the measurement window and a 4x larger machine, stall
+		// categories realistically grow by at most ~an order of magnitude;
+		// 20x headroom keeps runaway rationals out without constraining
+		// real trends. The tail-slope cap additionally ties the allowed
+		// growth to the trend visible at the end of the window.
+		MaxGrowth:    20,
+		TailSlopeCap: 4,
+	}
+}
+
+// dataScale returns the effective weak-scaling dataset factor.
+func (pl *Pipeline) dataScale() float64 {
+	if pl.opt.DatasetScale > 0 {
+		return pl.opt.DatasetScale
+	}
+	return 1
+}
+
+// freqRatio returns the effective cross-machine frequency ratio.
+func (pl *Pipeline) freqRatio() float64 {
+	if pl.opt.FreqRatio > 0 {
+		return pl.opt.FreqRatio
+	}
+	return 1
+}
+
+// Targets normalizes raw target core counts into the stage x-axis:
+// validated, sorted ascending, duplicates removed.
+func Targets(targetCores []int) ([]float64, error) {
+	if len(targetCores) == 0 {
+		return nil, errors.New("core: no target core counts")
+	}
+	seen := make(map[int]bool, len(targetCores))
+	targets := make([]float64, 0, len(targetCores))
+	for _, c := range targetCores {
+		if c < 1 {
+			return nil, fmt.Errorf("core: bad target core count %d", c)
+		}
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		targets = append(targets, float64(c))
+	}
+	sort.Float64s(targets)
+	return targets, nil
+}
+
+// category is one stall series to extrapolate.
+type category struct {
+	name string
+	ys   []float64
+}
+
+// categories lists the stall series the options select, sorted by name so
+// every stage iterates (and sums) in a stable order.
+func categories(series *counters.Series, opt Options) []category {
+	var cats []category
+	for _, code := range series.EventCodes() {
+		cats = append(cats, category{code, series.Event(code)})
+	}
+	if opt.IncludeFrontend {
+		seen := map[string]bool{}
+		for i := range series.Samples {
+			for code := range series.Samples[i].Frontend {
+				if !seen[code] {
+					seen[code] = true
+					cats = append(cats, category{code, series.FrontendEvent(code)})
+				}
+			}
+		}
+	}
+	if opt.UseSoftware {
+		for _, name := range series.SoftNames() {
+			cats = append(cats, category{name, series.SoftCategory(name)})
+		}
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i].name < cats[j].name })
+	return cats
+}
+
+// Extrapolation is step B's output: every stall category extrapolated
+// individually over the target core counts.
+type Extrapolation struct {
+	// Targets are the normalized target core counts (see Targets).
+	Targets []float64
+	// Names are the category names in stable (sorted) order; all-zero
+	// categories appear here with zero values and no fit.
+	Names []string
+	// Fits maps category to its selected extrapolation function.
+	Fits map[string]*fit.Fit
+	// Values maps category to its extrapolated values over Targets
+	// (dataset-scaled, clamped non-negative).
+	Values map[string][]float64
+
+	// measured keeps the per-category measurement series for the
+	// bootstrap stage (residuals are computed against these).
+	measured []category
+}
+
+// Extrapolate runs step B on a measured series. Per-category fitting — one
+// fit.Approximate search per category, the dominant cost of a prediction —
+// runs across the pipeline's worker pool. Each category is fitted
+// independently, so the result is identical to the sequential order
+// regardless of worker count.
+func (pl *Pipeline) Extrapolate(series *counters.Series, targets []float64) (*Extrapolation, error) {
+	if len(series.Samples) < 2 {
+		return nil, ErrTooFewSamples
+	}
+	if len(targets) == 0 {
+		return nil, errors.New("core: no target core counts")
+	}
+	xs := series.Cores()
+	fopt := pl.fitOptions(targets)
+	scale := pl.dataScale()
+	cats := categories(series, pl.opt)
+
+	ex := &Extrapolation{
+		Targets:  targets,
+		Fits:     map[string]*fit.Fit{},
+		Values:   map[string][]float64{},
+		measured: cats,
+	}
+	type result struct {
+		f    *fit.Fit
+		vals []float64
+		err  error
+	}
+	results := make([]result, len(cats))
+	pl.runIndexed(len(cats), func(i int) {
+		if allNearZero(cats[i].ys) {
+			results[i] = result{vals: make([]float64, len(targets))}
+			return
+		}
+		f, err := approximateRelaxing(xs, cats[i].ys, fopt)
+		if err != nil {
+			results[i] = result{err: err}
+			return
+		}
+		results[i] = result{f: f, vals: evalClamped(f, targets, scale)}
+	})
+
+	for i, cat := range cats {
+		r := results[i]
+		if r.err != nil {
+			return nil, fmt.Errorf("core: extrapolating %s for %s: %w", cat.name, series.Workload, r.err)
+		}
+		ex.Names = append(ex.Names, cat.name)
+		if r.f != nil {
+			ex.Fits[cat.name] = r.f
+		}
+		ex.Values[cat.name] = r.vals
+	}
+	return ex, nil
+}
+
+// evalClamped evaluates a fit over the targets, applying the weak-scaling
+// dataset factor and clamping negatives to zero (stall counts are counts).
+func evalClamped(f *fit.Fit, targets []float64, scale float64) []float64 {
+	vals := make([]float64, len(targets))
+	for i, x := range targets {
+		v := f.Eval(x) * scale
+		if v < 0 {
+			v = 0
+		}
+		vals[i] = v
+	}
+	return vals
+}
+
+// Combine sums the per-category extrapolations into total stalled cycles
+// per core at each target. Summation follows the stable Names order, so
+// the result never depends on map iteration order.
+func (pl *Pipeline) Combine(ex *Extrapolation) []float64 {
+	spc := make([]float64, len(ex.Targets))
+	for i, x := range ex.Targets {
+		total := 0.0
+		for _, name := range ex.Names {
+			total += ex.Values[name][i]
+		}
+		spc[i] = total / x
+	}
+	return spc
+}
+
+// SelectFactor runs step C: the scaling factor connecting stalls per core
+// to time. The factor is computed from the measurements, extrapolated with
+// the same kernels, and selected for maximum correlation of the produced
+// time predictions with the extrapolated stalls per core (§3.1.3).
+func (pl *Pipeline) SelectFactor(series *counters.Series, targets, stallsPerCore []float64) (*fit.Fit, error) {
+	xs := series.Cores()
+	times := series.Times()
+	factor, err := measuredFactor(series, pl.opt)
+	if err != nil {
+		return nil, err
+	}
+	factorOpt := pl.fitOptions(targets)
+	// Sanity bounds on the produced time predictions: relative to the
+	// highest-core measurement, adding cores cannot plausibly slow the
+	// application by more than ~4x or speed it up by more than ~10x.
+	lastTime := times[len(times)-1]
+	factorOpt.LoBound = lastTime / 10
+	factorOpt.HiBound = lastTime * 4
+	ffit, err := fit.SelectByCorrelation(xs, factor, targets, stallsPerCore, factorOpt)
+	if err != nil {
+		return nil, fmt.Errorf("core: fitting scaling factor for %s: %w", series.Workload, err)
+	}
+	return ffit, nil
+}
+
+// measuredFactor returns the measured time-per-stall-per-core series the
+// factor stage fits.
+func measuredFactor(series *counters.Series, opt Options) ([]float64, error) {
+	xs := series.Cores()
+	times := series.Times()
+	measuredSPC := series.StallsPerCore(opt.UseSoftware, opt.IncludeFrontend)
+	factor := make([]float64, len(xs))
+	for i := range xs {
+		if measuredSPC[i] <= 0 {
+			return nil, fmt.Errorf("core: zero measured stalls per core at %v cores", xs[i])
+		}
+		factor[i] = times[i] / measuredSPC[i]
+	}
+	return factor, nil
+}
+
+// Times applies the selected factor and the cross-machine frequency ratio
+// to the combined stalls per core, producing execution-time predictions.
+func (pl *Pipeline) Times(ffit *fit.Fit, targets, stallsPerCore []float64) ([]float64, error) {
+	freq := pl.freqRatio()
+	out := make([]float64, len(targets))
+	for i, x := range targets {
+		t := ffit.Eval(x) * stallsPerCore[i] * freq
+		if !finiteNonNegative(t) {
+			return nil, fmt.Errorf("core: unrealistic time prediction %v at %v cores", t, x)
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// Run composes the stages into a full prediction. When Options.Bootstrap
+// is set it additionally runs the residual-bootstrap stage, filling
+// TimeLo/TimeHi and the per-category stability scores.
+func (pl *Pipeline) Run(series *counters.Series, targetCores []int) (*Prediction, error) {
+	if len(series.Samples) < 2 {
+		return nil, ErrTooFewSamples
+	}
+	targets, err := Targets(targetCores)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := pl.Extrapolate(series, targets)
+	if err != nil {
+		return nil, err
+	}
+	spc := pl.Combine(ex)
+	ffit, err := pl.SelectFactor(series, targets, spc)
+	if err != nil {
+		return nil, err
+	}
+	times, err := pl.Times(ffit, targets, spc)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prediction{
+		Workload:       series.Workload,
+		MeasuredOn:     series.Machine,
+		MeasuredCores:  series.Cores(),
+		TargetCores:    targets,
+		CategoryFits:   ex.Fits,
+		CategoryValues: ex.Values,
+		StallsPerCore:  spc,
+		FactorFit:      ffit,
+		Time:           times,
+	}
+	if pl.opt.Bootstrap > 0 {
+		if err := pl.bootstrap(series, ex, p); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}

@@ -150,31 +150,36 @@ type Sample struct {
 	FootprintBytes uint64
 }
 
-// TotalBackend sums all backend hardware stall cycles.
-func (s *Sample) TotalBackend() float64 {
+// sortedSum adds the map's values in sorted-key order. Float addition is
+// not associative, so summing in Go's randomized map order makes totals
+// (and everything fitted on them) differ at the last ULP from run to run;
+// a stable order keeps the whole prediction pipeline byte-deterministic.
+func sortedSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	t := 0.0
-	for _, v := range s.HW {
-		t += v
+	for _, k := range keys {
+		t += m[k]
 	}
 	return t
+}
+
+// TotalBackend sums all backend hardware stall cycles.
+func (s *Sample) TotalBackend() float64 {
+	return sortedSum(s.HW)
 }
 
 // TotalSoft sums all software stall cycles.
 func (s *Sample) TotalSoft() float64 {
-	t := 0.0
-	for _, v := range s.Soft {
-		t += v
-	}
-	return t
+	return sortedSum(s.Soft)
 }
 
 // TotalFrontend sums all frontend stall cycles.
 func (s *Sample) TotalFrontend() float64 {
-	t := 0.0
-	for _, v := range s.Frontend {
-		t += v
-	}
-	return t
+	return sortedSum(s.Frontend)
 }
 
 // Series is a set of Samples at increasing core counts for one workload on

@@ -1,0 +1,53 @@
+package counters
+
+import (
+	"testing"
+)
+
+// FuzzDecodeSeries pins the decoder's contract the measurement store's
+// corruption-tolerant read path relies on: DecodeSeries must never panic
+// on malformed bytes — it returns an error instead — and anything it does
+// accept must survive an encode/decode round trip.
+func FuzzDecodeSeries(f *testing.F) {
+	if valid, err := EncodeSeries(testSeries()); err == nil {
+		f.Add(valid)
+		f.Add(valid[:len(valid)/2]) // truncated mid-document
+	}
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"version":1,"workload":"w","machine":"m","samples":[]}`))
+	f.Add([]byte(`{"version":99,"workload":"w","machine":"m"}`))
+	f.Add([]byte(`{"version":1,"workload":"w","machine":"m","samples":[{"cores":-3}]}`))
+	f.Add([]byte(`{"version":1,"workload":"w","machine":"m","samples":[{"cores":2},{"cores":1}]}`))
+	f.Add([]byte(`{"version":1,"workload":"w","machine":"m","samples":[{"cores":1,"hw":{"A":1e308}}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSeries(data)
+		if err != nil {
+			if s != nil {
+				t.Fatalf("error %v returned alongside a series", err)
+			}
+			return
+		}
+		if s.Workload == "" || s.Machine == "" {
+			t.Fatalf("accepted series without identity: %+v", s)
+		}
+		for i := range s.Samples {
+			if s.Samples[i].Cores < 1 {
+				t.Fatalf("accepted sample with %d cores", s.Samples[i].Cores)
+			}
+			if i > 0 && s.Samples[i].Cores < s.Samples[i-1].Cores {
+				t.Fatalf("samples not sorted by cores: %d after %d",
+					s.Samples[i].Cores, s.Samples[i-1].Cores)
+			}
+		}
+		out, err := EncodeSeries(s)
+		if err != nil {
+			t.Fatalf("accepted series does not re-encode: %v", err)
+		}
+		if _, err := DecodeSeries(out); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+	})
+}

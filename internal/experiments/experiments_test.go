@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/counters"
@@ -17,13 +18,14 @@ const tinyScale = 0.1
 
 func TestIDsAndTitles(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 21 {
-		t.Errorf("got %d experiments, want 21", len(ids))
+	if len(ids) != 22 {
+		t.Errorf("got %d experiments, want 22", len(ids))
 	}
 	want := []string{"fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"table4", "table5", "table6", "table7",
-		"ablation-aggregate", "ablation-checkpoints", "ablation-kernels"}
+		"ablation-aggregate", "ablation-checkpoints", "ablation-kernels",
+		"uncertainty"}
 	have := map[string]bool{}
 	for _, id := range ids {
 		have[id] = true
@@ -96,17 +98,17 @@ func TestSeriesWarmCacheAcrossEnvs(t *testing.T) {
 	m := machine.Opteron()
 
 	cold := newEnv(cfg)
-	coldCalls := 0
+	var coldCalls atomic.Int64
 	cold.collect = func(w sim.Workload, mc *machine.Config, cores int, scale float64) (counters.Sample, error) {
-		coldCalls++
+		coldCalls.Add(1)
 		return sim.Collect(w, mc, cores, scale)
 	}
 	first, err := cold.series("intruder", m, 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if coldCalls != 4 {
-		t.Fatalf("cold collection ran the simulator %d times, want 4", coldCalls)
+	if coldCalls.Load() != 4 {
+		t.Fatalf("cold collection ran the simulator %d times, want 4", coldCalls.Load())
 	}
 
 	warm := newEnv(cfg)
@@ -124,16 +126,16 @@ func TestSeriesWarmCacheAcrossEnvs(t *testing.T) {
 	// A different effective scale is a different key: it must re-collect,
 	// not replay the wrong series.
 	miss := newEnv(cfg)
-	missCalls := 0
+	var missCalls atomic.Int64
 	miss.collect = func(w sim.Workload, mc *machine.Config, cores int, scale float64) (counters.Sample, error) {
-		missCalls++
+		missCalls.Add(1)
 		return sim.Collect(w, mc, cores, scale)
 	}
 	if _, err := miss.series("intruder", m, 4, 2); err != nil {
 		t.Fatal(err)
 	}
-	if missCalls != 4 {
-		t.Errorf("different dataScale should re-collect; simulator ran %d times, want 4", missCalls)
+	if missCalls.Load() != 4 {
+		t.Errorf("different dataScale should re-collect; simulator ran %d times, want 4", missCalls.Load())
 	}
 }
 

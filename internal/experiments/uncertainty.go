@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func init() {
+	registerExp("uncertainty",
+		"Uncertainty: Table-4-style prediction errors with bootstrap confidence bands", uncertainty)
+}
+
+// uncertaintyBoot is the replicate count: enough for stable 90% quantiles
+// (each replicate only refits already-selected kernels, so this is cheap
+// next to the measurement simulation).
+const uncertaintyBoot = 120
+
+// uncertainty regenerates the Table 4 Opteron scenario — measure every
+// benchmark on one processor (12 cores), predict cores 13..48 — with the
+// residual-bootstrap stage enabled, reporting per workload the max error
+// of the point estimate, the mean relative width of the 90% confidence
+// band, the band's empirical coverage of the actually measured times, and
+// the least stable category fit. A well-calibrated band is tight where the
+// fits are stable and wide (but still covering) where they are not.
+func uncertainty(e *env) (*Result, error) {
+	m := machine.Opteron()
+	names := workloads.Table4Names()
+	type row struct {
+		maxPct   float64
+		width    float64
+		coverage float64
+		minStab  float64
+		err      error
+	}
+	rows := make([]row, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			full, err := e.series(name, m, m.NumCores(), 1)
+			if err != nil {
+				rows[i].err = err
+				return
+			}
+			measured := window(full, 12)
+			targets := coresFrom(12, m.NumCores())
+			// The env's semaphore bounds the CPU-bound prediction phase the
+			// same way it bounds simulation; Workers: 1 keeps each
+			// prediction from opening a second NumCPU-wide pool inside it.
+			e.sem <- struct{}{}
+			pred, err := core.Predict(measured, targets, core.Options{
+				UseSoftware: usesSoftwareStalls(name),
+				Bootstrap:   uncertaintyBoot,
+				Workers:     1,
+			})
+			<-e.sem
+			if err != nil {
+				rows[i].err = err
+				return
+			}
+			if rows[i].maxPct, _, err = pred.Errors(full); err != nil {
+				rows[i].err = err
+				return
+			}
+			widths := make([]float64, len(pred.TargetCores))
+			covered, total := 0, 0
+			for ti, c := range pred.TargetCores {
+				widths[ti] = 100 * (pred.TimeHi[ti] - pred.TimeLo[ti]) / pred.Time[ti]
+				for _, smp := range full.Samples {
+					if smp.Cores == int(c) {
+						total++
+						if smp.Seconds >= pred.TimeLo[ti] && smp.Seconds <= pred.TimeHi[ti] {
+							covered++
+						}
+					}
+				}
+			}
+			rows[i].width = stats.Mean(widths)
+			if total > 0 {
+				rows[i].coverage = 100 * float64(covered) / float64(total)
+			}
+			rows[i].minStab = 1
+			for _, s := range pred.Stability {
+				if s < rows[i].minStab {
+					rows[i].minStab = s
+				}
+			}
+		}(i, name)
+	}
+	wg.Wait()
+
+	tbl := &report.Table{
+		Title: fmt.Sprintf("prediction uncertainty on the Opteron (12 measured cores, %d bootstrap resamples, %g%% CI)",
+			uncertaintyBoot, float64(core.DefaultCILevel)),
+		Headers: []string{"benchmark", "max err%", "CI width%", "coverage%", "min stability"},
+	}
+	var errs, widths, covs []float64
+	for i, name := range names {
+		if rows[i].err != nil {
+			return nil, fmt.Errorf("%s: %w", name, rows[i].err)
+		}
+		tbl.AddRow(name, report.Pct(rows[i].maxPct), report.Pct(rows[i].width),
+			report.Pct(rows[i].coverage), fmt.Sprintf("%.2f", rows[i].minStab))
+		errs = append(errs, rows[i].maxPct)
+		widths = append(widths, rows[i].width)
+		covs = append(covs, rows[i].coverage)
+	}
+	tbl.AddRow("Average", report.Pct(stats.Mean(errs)), report.Pct(stats.Mean(widths)),
+		report.Pct(stats.Mean(covs)), "")
+	text := tbl.Render() + fmt.Sprintf(
+		"\nmean band coverage of the measured times: %.1f%% (band level: %d%%)\n",
+		stats.Mean(covs), core.DefaultCILevel)
+	return &Result{Text: text}, nil
+}

@@ -1,0 +1,24 @@
+package fit
+
+// Refit fits f's kernel on a perturbed series (xs, ys), reusing the
+// original fit's prefix length, and returns the refitted candidate. It is
+// the inner loop of residual-bootstrap resampling: the expensive
+// kernel × prefix search of Approximate runs once, on the real
+// measurements; each resample only re-estimates the selected function's
+// coefficients on the perturbed observations. The realism filters are not
+// re-applied — the caller judges a refit by the predictions it produces.
+func Refit(f *Fit, xs, ys []float64) (*Fit, error) {
+	if f == nil || len(xs) != len(ys) || len(xs) < 2 {
+		return nil, ErrBadInput
+	}
+	plen := f.PrefixLen
+	if plen < 2 || plen > len(xs) {
+		plen = len(xs)
+	}
+	nf := fitOne(f.Kernel, xs[:plen], ys[:plen])
+	if nf == nil {
+		return nil, ErrNoValidFit
+	}
+	nf.PrefixLen = plen
+	return nf, nil
+}

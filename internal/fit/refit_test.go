@@ -1,0 +1,63 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRefitRecoversPerturbedCoefficients(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 2*x // exactly linear
+	}
+	f, err := Approximate(xs, ys, Options{Kernels: []*Kernel{Linear}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb with small deterministic noise and refit the same kernel.
+	rng := rand.New(rand.NewSource(7))
+	perturbed := make([]float64, len(ys))
+	for i, y := range ys {
+		perturbed[i] = y + 0.01*(rng.Float64()-0.5)
+	}
+	nf, err := Refit(f, xs, perturbed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nf.Kernel != f.Kernel {
+		t.Errorf("Refit changed kernel %s -> %s", f.Kernel.Name, nf.Kernel.Name)
+	}
+	if nf.PrefixLen != f.PrefixLen {
+		t.Errorf("Refit changed prefix %d -> %d", f.PrefixLen, nf.PrefixLen)
+	}
+	for _, x := range []float64{6, 24, 48} {
+		want := 3 + 2*x
+		if got := nf.Eval(x); math.Abs(got-want)/want > 0.01 {
+			t.Errorf("refit eval(%g) = %g, want ~%g", x, got, want)
+		}
+	}
+	// The original fit must be untouched.
+	if got := f.Eval(24); math.Abs(got-51)/51 > 1e-6 {
+		t.Errorf("original fit drifted: eval(24) = %g", got)
+	}
+}
+
+func TestRefitRejectsBadInput(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := []float64{2, 4, 6, 8, 10, 12}
+	f, err := Approximate(xs, ys, Options{Kernels: []*Kernel{Linear}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Refit(nil, xs, ys); err == nil {
+		t.Error("nil fit should error")
+	}
+	if _, err := Refit(f, xs, ys[:3]); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Refit(f, xs[:1], ys[:1]); err == nil {
+		t.Error("single point should error")
+	}
+}

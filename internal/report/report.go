@@ -16,18 +16,34 @@ type Table struct {
 	Rows    [][]string
 }
 
-// AddRow appends a row, formatting each value: floats with %.4g, everything
-// else with %v.
+// Band is a lo/est/hi confidence triple. AddRow expands a Band into three
+// adjacent cells, so an interval-valued column stays one value at the call
+// site while Render, CSV and JSON all see three plain, aligned columns
+// (give it three headers, e.g. "lo(s)", "pred(s)", "hi(s)").
+type Band struct {
+	Lo, Est, Hi float64
+	// Format formats each bound; nil means %.4g.
+	Format func(float64) string
+}
+
+// AddRow appends a row, formatting each value: floats with %.4g, Bands as
+// three lo/est/hi cells, everything else with %v.
 func (t *Table) AddRow(cells ...any) {
-	row := make([]string, len(cells))
-	for i, c := range cells {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
 		switch v := c.(type) {
+		case Band:
+			f := v.Format
+			if f == nil {
+				f = func(x float64) string { return fmt.Sprintf("%.4g", x) }
+			}
+			row = append(row, f(v.Lo), f(v.Est), f(v.Hi))
 		case float64:
-			row[i] = fmt.Sprintf("%.4g", v)
+			row = append(row, fmt.Sprintf("%.4g", v))
 		case float32:
-			row[i] = fmt.Sprintf("%.4g", v)
+			row = append(row, fmt.Sprintf("%.4g", v))
 		default:
-			row[i] = fmt.Sprintf("%v", c)
+			row = append(row, fmt.Sprintf("%v", c))
 		}
 	}
 	t.Rows = append(t.Rows, row)

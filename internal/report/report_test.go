@@ -104,3 +104,37 @@ func TestRenderWithoutHeaders(t *testing.T) {
 		t.Error("row missing")
 	}
 }
+
+func TestBandExpandsToThreeCells(t *testing.T) {
+	tbl := &Table{Headers: []string{"name", "lo", "est", "hi"}}
+	tbl.AddRow("x", Band{Lo: 1, Est: 2, Hi: 3})
+	if len(tbl.Rows) != 1 || len(tbl.Rows[0]) != 4 {
+		t.Fatalf("rows = %v", tbl.Rows)
+	}
+	if want := []string{"x", "1", "2", "3"}; !reflect.DeepEqual(tbl.Rows[0], want) {
+		t.Errorf("row = %v, want %v", tbl.Rows[0], want)
+	}
+	// The expansion flows through every rendering unchanged.
+	if csv := tbl.CSV(); !strings.Contains(csv, "x,1,2,3") {
+		t.Errorf("CSV missing band cells:\n%s", csv)
+	}
+	data, err := tbl.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct{ Rows [][]string }
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Rows[0]) != 4 {
+		t.Errorf("JSON row = %v", doc.Rows[0])
+	}
+}
+
+func TestBandCustomFormat(t *testing.T) {
+	tbl := &Table{}
+	tbl.AddRow(Band{Lo: 1, Est: 2, Hi: 3, Format: Sec})
+	if want := []string{"1.000000", "2.000000", "3.000000"}; !reflect.DeepEqual(tbl.Rows[0], want) {
+		t.Errorf("row = %v, want %v", tbl.Rows[0], want)
+	}
+}

@@ -7,6 +7,7 @@ package stats
 import (
 	"errors"
 	"math"
+	"sort"
 )
 
 // ErrLength is returned by functions that require two slices of equal,
@@ -192,6 +193,31 @@ func AllFinite(xs []float64) bool {
 		}
 	}
 	return true
+}
+
+// Quantile returns the q-quantile of xs (q in [0, 1]) using linear
+// interpolation between order statistics (the common "type 7" estimator).
+// q is clamped into [0, 1]; an empty xs yields NaN. xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // Scale returns a new slice with every element of xs multiplied by k.

@@ -249,3 +249,25 @@ func TestScaleAddDiv(t *testing.T) {
 		t.Error("Div length mismatch should error")
 	}
 }
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5} // unsorted on purpose
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4}, {0.125, 1.5},
+		{-1, 1}, {2, 5}, // clamped
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := xs[0]; got != 4 {
+		t.Error("Quantile must not reorder its input")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty Quantile should be NaN")
+	}
+	if got := Quantile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("single-element Quantile = %v", got)
+	}
+}
