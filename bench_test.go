@@ -8,6 +8,7 @@
 package repro
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -21,7 +22,7 @@ var logOnce sync.Map
 
 func benchExperiment(b *testing.B, id string) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Run(id, experiments.Config{Scale: benchScale})
+		res, err := experiments.Run(context.Background(), id, experiments.Config{Scale: benchScale})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -4,11 +4,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -33,11 +36,13 @@ func main() {
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cfg := experiments.Config{Scale: *scale, CacheDir: *cacheDir}
 	failed := 0
 	for _, id := range ids {
 		start := time.Now()
-		res, err := experiments.Run(id, cfg)
+		res, err := experiments.Run(ctx, id, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "estima-bench: %v\n", err)
 			failed++

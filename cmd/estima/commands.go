@@ -1,108 +1,71 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
-	"repro/internal/counters"
-	"repro/internal/machine"
-	"repro/internal/sim"
-	"repro/internal/store"
-	"repro/internal/workloads"
+	"repro/internal/service"
 )
 
-func cmdList(args []string) error {
+// newService builds the one Service every command talks to; the CLI is a
+// thin client of the same facade 'estima serve' exposes over HTTP.
+func newService(cacheDir string) (*service.Service, error) {
+	return service.New(service.Config{CacheDir: cacheDir})
+}
+
+func cmdList(ctx context.Context, args []string) error {
 	fs := newFlagSet("list")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	svc, err := newService("")
+	if err != nil {
+		return err
+	}
+	resp, err := svc.List(ctx, service.ListRequest{})
+	if err != nil {
 		return err
 	}
 	fmt.Println("workloads:")
-	for _, n := range workloads.Names() {
+	for _, n := range resp.Workloads {
 		fmt.Printf("  %s\n", n)
 	}
 	fmt.Println("machines:")
-	for _, m := range machine.Presets() {
+	for _, m := range resp.Machines {
 		fmt.Printf("  %-8s %2d cores (%d sockets x %d chips x %d cores) @ %.1f GHz [%s]\n",
-			m.Name, m.NumCores(), m.Sockets, m.ChipsPerSocket, m.CoresPerChip, m.FreqGHz, m.Arch)
+			m.Name, m.Cores, m.Sockets, m.ChipsPerSocket, m.CoresPerChip, m.FreqGHz, m.Arch)
 	}
 	return nil
 }
 
-func lookup(workload, mach string) (sim.Workload, *machine.Config, error) {
-	w := workloads.ByName(workload)
-	if w == nil {
-		return nil, nil, fmt.Errorf("unknown workload %q (try 'estima list')", workload)
-	}
-	m := machine.ByName(mach)
-	if m == nil {
-		return nil, nil, fmt.Errorf("unknown machine %q (try 'estima list')", mach)
-	}
-	return w, m, nil
-}
-
-// contiguousFromOne reports whether cores is exactly the schedule 1..N —
-// the only shape the measurement store is keyed by.
-func contiguousFromOne(cores []int) bool {
-	for i, c := range cores {
-		if c != i+1 {
-			return false
-		}
-	}
-	return len(cores) > 0
-}
-
-// parseCores parses "1,2,4" or "1-12" style core lists.
-func parseCores(spec string, max int) ([]int, error) {
-	if spec == "" || spec == "all" {
-		return sim.CoreRange(max), nil
-	}
-	var out []int
-	for _, part := range strings.Split(spec, ",") {
-		if lo, hi, ok := strings.Cut(part, "-"); ok {
-			l, err1 := strconv.Atoi(lo)
-			h, err2 := strconv.Atoi(hi)
-			if err1 != nil || err2 != nil || l < 1 || h < l {
-				return nil, fmt.Errorf("bad core range %q", part)
-			}
-			for c := l; c <= h; c++ {
-				out = append(out, c)
-			}
-		} else {
-			c, err := strconv.Atoi(part)
-			if err != nil || c < 1 {
-				return nil, fmt.Errorf("bad core count %q", part)
-			}
-			out = append(out, c)
-		}
-	}
-	return out, nil
-}
-
-func cmdCurve(args []string) error {
+func cmdCurve(ctx context.Context, args []string) error {
 	fs := newFlagSet("curve")
 	workload := fs.String("w", "", "workload name")
 	mach := fs.String("m", "Opteron", "machine name")
 	coreSpec := fs.String("cores", "all", "core counts, e.g. 1-12 or 1,2,4,8")
 	scale := fs.Float64("scale", 1, "dataset scale factor")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	w, m, err := lookup(*workload, *mach)
+	svc, err := newService("")
 	if err != nil {
 		return err
 	}
-	cores, err := parseCores(*coreSpec, m.NumCores())
+	resp, err := svc.Curve(ctx, service.CurveRequest{
+		Workload: *workload,
+		Machine:  *mach,
+		Cores:    *coreSpec,
+		Scale:    *scale,
+	})
 	if err != nil {
 		return err
 	}
-	series, err := sim.CollectSeries(w, m, cores, *scale)
-	if err != nil {
-		return err
-	}
+	series := resp.Decoded
 	codes := series.EventCodes()
-	fmt.Printf("# %s on %s (scale %.2f)\n", w.Name(), m.Name, *scale)
+	fmt.Printf("# %s on %s (scale %.2f)\n", resp.Workload, resp.Machine, *scale)
 	fmt.Printf("%5s %12s %14s", "cores", "time(s)", "stalls/core")
 	for _, c := range codes {
 		fmt.Printf(" %12s", c)
@@ -121,57 +84,43 @@ func cmdCurve(args []string) error {
 	return nil
 }
 
-func cmdCollect(args []string) error {
+func cmdCollect(ctx context.Context, args []string) error {
 	fs := newFlagSet("collect")
 	workload := fs.String("w", "", "workload name")
 	mach := fs.String("m", "Opteron", "machine name")
 	coreSpec := fs.String("cores", "all", "core counts")
 	scale := fs.Float64("scale", 1, "dataset scale factor")
 	out := fs.String("o", "", "write the series as JSON to this file (for 'predict -from')")
-	cacheDir := fs.String("cache", "", "measurement store directory, reused across runs (applies to contiguous 1..N core schedules)")
-	if err := fs.Parse(args); err != nil {
+	cacheDir := fs.String("cache", "", "measurement store directory, reused across runs (applies to contiguous 1..N core schedules; the replay notice is only printed with -o, since CSV owns stdout)")
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	w, m, err := lookup(*workload, *mach)
+	svc, err := newService(*cacheDir)
 	if err != nil {
 		return err
 	}
-	cores, err := parseCores(*coreSpec, m.NumCores())
-	if err != nil {
-		return err
-	}
-	// The store is keyed by 1..MaxCores schedules (the shape sweep,
-	// predict and the experiments collect); sparse core lists bypass it.
-	var st *store.Store
-	if *cacheDir != "" && contiguousFromOne(cores) {
-		if st, err = store.Open(*cacheDir); err != nil {
-			return err
-		}
-	}
-	key := store.Key{Workload: w.Name(), Machine: m.Name, MaxCores: len(cores),
-		Scale: *scale, Engine: sim.EngineVersion}
-	series, hit, err := st.GetOrCollect(key, func() (*counters.Series, error) {
-		return sim.CollectSeries(w, m, cores, *scale)
+	resp, err := svc.Collect(ctx, service.CollectRequest{
+		Workload: *workload,
+		Machine:  *mach,
+		Cores:    *coreSpec,
+		Scale:    *scale,
 	})
 	if err != nil {
 		return err
 	}
-	if hit {
-		fmt.Fprintf(os.Stderr, "replayed the measurement series from %s\n", st.Dir())
-	}
 	if *out != "" {
-		data, err := counters.EncodeSeries(series)
-		if err != nil {
+		if err := os.WriteFile(*out, resp.Series, 0o644); err != nil {
 			return err
 		}
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
-			return err
+		if resp.CacheHit {
+			fmt.Printf("replayed the measurement series from %s\n", resp.StoreDir)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d samples of %s on %s to %s\n",
-			len(series.Samples), series.Workload, series.Machine, *out)
+		fmt.Printf("wrote %d samples of %s on %s to %s\n",
+			resp.Samples, resp.Workload, resp.Machine, *out)
 		return nil
 	}
 	// CSV to stdout: cores, seconds, each backend event, each soft category.
+	series := resp.Decoded
 	codes := series.EventCodes()
 	soft := series.SoftNames()
 	header := []string{"cores", "seconds"}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden files instead of comparing against them:
+//
+//	go test ./cmd/estima -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenCases pin 'estima predict' and 'estima sweep' stdout to the byte —
+// the files were captured from the pre-service CLI, so routing every
+// command through internal/service provably changed nothing a user sees.
+var goldenCases = []struct {
+	file string
+	run  func() error
+}{
+	{"predict_intruder_haswell.golden", func() error {
+		return cmdPredict(bg, []string{"-w", "intruder", "-m", "Haswell", "-scale", "0.05"})
+	}},
+	{"predict_intruder_xeon20.golden", func() error {
+		return cmdPredict(bg, []string{"-w", "intruder", "-m", "Xeon20", "-scale", "0.05", "-soft"})
+	}},
+	{"predict_genome_boot.golden", func() error {
+		return cmdPredict(bg, []string{"-w", "genome", "-m", "Haswell", "-scale", "0.05",
+			"-soft", "-boot", "50", "-compare=false"})
+	}},
+	{"sweep_table.golden", func() error {
+		return cmdSweep(bg, []string{"-w", "intruder,genome", "-m", "Haswell",
+			"-scale", "0.05", "-format", "table"})
+	}},
+	{"sweep_csv_boot.golden", func() error {
+		return cmdSweep(bg, []string{"-w", "intruder,genome", "-m", "Haswell",
+			"-scale", "0.05", "-format", "csv", "-boot", "40"})
+	}},
+}
+
+func TestGoldenOutputs(t *testing.T) {
+	for _, c := range goldenCases {
+		c := c
+		t.Run(c.file, func(t *testing.T) {
+			got, err := captureStdout(t, c.run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", c.file)
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(want) {
+				t.Errorf("output is not byte-identical to the pre-service CLI.\n--- want\n%s\n--- got\n%s", want, got)
+			}
+		})
+	}
+}

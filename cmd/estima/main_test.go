@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStderr runs fn with os.Stderr redirected to a buffer.
+func captureStderr(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stderr
+	os.Stderr = w
+	defer func() { os.Stderr = old }()
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	fn()
+	w.Close()
+	return <-done
+}
+
+// TestRunExitCodes pins the dispatch contract: 0 on success with a silent
+// stderr, 1 on execution errors, 2 with usage on stderr for unknown
+// subcommands and flag-parse failures alike.
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name       string
+		args       []string
+		code       int
+		wantStderr string // substring; "" asserts stderr is empty
+	}{
+		{"no command", nil, 2, "usage: estima"},
+		{"unknown command", []string{"frobnicate"}, 2, "unknown command"},
+		{"unknown command usage", []string{"frobnicate"}, 2, "usage: estima"},
+		{"bad flag", []string{"list", "-no-such-flag"}, 2, "flag provided but not defined"},
+		{"bad flag value", []string{"predict", "-boot", "x"}, 2, "invalid value"},
+		{"subcommand help", []string{"sweep", "-h"}, 0, "-format"},
+		{"execution error", []string{"predict", "-w", "no-such-workload", "-m", "Haswell"}, 1, "unknown workload"},
+		{"typo suggestion", []string{"predict", "-w", "intrduer", "-m", "Haswell"}, 1, `did you mean "intruder"?`},
+		{"success", []string{"list"}, 0, ""},
+		{"help", []string{"help"}, 0, ""},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var code int
+			var stderr string
+			stdout, err := captureStdout(t, func() error {
+				stderr = captureStderr(t, func() { code = run(bg, c.args) })
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if code != c.code {
+				t.Errorf("run(%v) = %d, want %d (stderr: %q)", c.args, code, c.code, stderr)
+			}
+			if c.wantStderr == "" {
+				if stderr != "" {
+					t.Errorf("success path wrote to stderr: %q", stderr)
+				}
+			} else if !strings.Contains(stderr, c.wantStderr) {
+				t.Errorf("stderr %q does not contain %q", stderr, c.wantStderr)
+			}
+			// Usage errors must show usage on stderr, never on stdout.
+			if code == 2 && strings.Contains(stdout, "usage: estima") {
+				t.Errorf("usage went to stdout on a usage error")
+			}
+		})
+	}
+}
+
+// `estima help` is a success: usage goes to stdout, stderr stays silent.
+func TestHelpPrintsUsageToStdout(t *testing.T) {
+	stdout, err := captureStdout(t, func() error {
+		if code := run(bg, []string{"help"}); code != 0 {
+			t.Errorf("help exited %d", code)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "usage: estima") || !strings.Contains(stdout, "serve") {
+		t.Errorf("help output: %q", stdout)
+	}
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -9,17 +10,18 @@ import (
 	"repro/internal/counters"
 	"repro/internal/machine"
 	"repro/internal/report"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/store"
 	"repro/internal/workloads"
 )
 
-// cmdPredict runs the full ESTIMA pipeline: measure the workload on the
-// measurement machine up to -meascores (or replay a series collected earlier
-// with 'collect -o' via -from), extrapolate to the target machine, and
-// (optionally) compare against the target machine's actual behaviour.
-func cmdPredict(args []string) error {
+// cmdPredict runs the full ESTIMA pipeline through the service facade:
+// measure the workload on the measurement machine up to -meascores (or
+// replay a series collected earlier with 'collect -o' via -from),
+// extrapolate to the target machine, and (optionally) compare against the
+// target machine's actual behaviour.
+func cmdPredict(ctx context.Context, args []string) error {
 	fs := newFlagSet("predict")
 	workload := fs.String("w", "", "workload name")
 	measMach := fs.String("m", "Opteron", "measurement machine")
@@ -34,175 +36,174 @@ func cmdPredict(args []string) error {
 	boot := fs.Int("boot", 0, "residual-bootstrap resamples for confidence bands (0 = off)")
 	ci := fs.Float64("ci", core.DefaultCILevel, "two-sided confidence level (%) of the -boot bands")
 	cacheDir := fs.String("cache", "", "measurement store directory, reused across runs")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *boot > 0 && (*ci <= 0 || *ci >= 100) {
 		return fmt.Errorf("-ci %g out of range (0, 100)", *ci)
 	}
-	var st *store.Store
-	if *cacheDir != "" {
-		var err error
-		if st, err = store.Open(*cacheDir); err != nil {
-			return err
-		}
+	req := service.PredictRequest{
+		Workload:    *workload,
+		Machine:     *measMach,
+		MeasCores:   *measCores,
+		Target:      *targetMach,
+		Scale:       *scale,
+		DataScale:   *dataScale,
+		Soft:        *useSoft,
+		Checkpoints: *checkpoints,
+		Bootstrap:   *boot,
+		CILevel:     *ci,
+		// Comparison runs as its own Collect request below, so its
+		// progress line can print before that expensive measurement
+		// starts, not after it already finished.
+		Compare: false,
 	}
-
-	var (
-		w        sim.Workload
-		mm       *machine.Config
-		measured *counters.Series
-	)
 	if *from != "" {
 		data, err := os.ReadFile(*from)
 		if err != nil {
 			return err
 		}
-		if measured, err = counters.DecodeSeries(data); err != nil {
+		// Decode locally only to announce the load up front; the service
+		// re-validates the same document.
+		loaded, err := counters.DecodeSeries(data)
+		if err != nil {
 			return err
 		}
 		fmt.Printf("loaded %d samples of %s on %s from %s\n",
-			len(measured.Samples), measured.Workload, measured.Machine, *from)
-		// The series may come from outside the simulator (a real perf
-		// collector), so its workload and machine need not be registered;
-		// they are only required for -compare and frequency scaling.
-		w = workloads.ByName(measured.Workload)
-		mm = machine.ByName(measured.Machine)
-		// Re-measuring comparable behaviour needs the scale the series was
-		// collected at; an externally collected file may not record it.
-		if measured.Scale > 0 {
-			*scale = measured.Scale
-		} else if *compare {
+			len(loaded.Samples), loaded.Workload, loaded.Machine, *from)
+		if loaded.Scale <= 0 && *compare {
 			fmt.Printf("series records no dataset scale; -compare will measure at scale %g\n", *scale)
 		}
+		req.Series = data
+		req.Workload, req.Machine = "", ""
 	} else {
-		var err error
-		if w, mm, err = lookup(*workload, *measMach); err != nil {
+		// Announce the measurement before the expensive work starts; the
+		// resolution mirrors the service's own (same Lookup, same errors).
+		w, err := workloads.Lookup(*workload)
+		if err != nil {
 			return err
 		}
-		if *measCores <= 0 {
-			*measCores = mm.OneProcessorCores()
+		mm, err := machine.Lookup(*measMach)
+		if err != nil {
+			return err
 		}
-		fmt.Printf("measuring %s on %s (1..%d cores)...\n", w.Name(), mm.Name, *measCores)
-		key := store.Key{Workload: w.Name(), Machine: mm.Name, MaxCores: *measCores,
-			Scale: *scale, Engine: sim.EngineVersion}
-		var hit bool
-		measured, hit, err = st.GetOrCollect(key, func() (*counters.Series, error) {
-			return sim.CollectSeries(w, mm, sim.CoreRange(*measCores), *scale)
+		mc := *measCores
+		if mc <= 0 {
+			mc = mm.OneProcessorCores()
+		}
+		fmt.Printf("measuring %s on %s (1..%d cores)...\n", w.Name(), mm.Name, mc)
+	}
+	svc, err := newService(*cacheDir)
+	if err != nil {
+		return err
+	}
+	resp, err := svc.Predict(ctx, req)
+	if err != nil {
+		return err
+	}
+	renderPredictHead(resp, *boot)
+
+	// The comparison phase — the expensive full-machine measurement ESTIMA
+	// exists to avoid — is its own service request, announced first.
+	var actual []float64
+	if *compare && !resp.WorkloadKnown {
+		fmt.Printf("series workload %q is not a registered workload; skipping -compare\n", resp.Workload)
+	} else if *compare {
+		fmt.Printf("measuring actual behaviour on %s (this is the expensive step ESTIMA avoids)...\n", resp.Target)
+		act, err := svc.Collect(ctx, service.CollectRequest{
+			Workload: resp.Workload,
+			Machine:  resp.Target,
+			Scale:    resp.Scale * *dataScale,
 		})
 		if err != nil {
 			return err
 		}
-		if hit {
-			fmt.Printf("replayed the measurement series from %s\n", st.Dir())
-		}
+		actual = act.Decoded.Times()
 	}
-	tm := mm
-	if *targetMach != "" {
-		if tm = machine.ByName(*targetMach); tm == nil {
-			return fmt.Errorf("unknown target machine %q", *targetMach)
-		}
+	renderPredictTable(resp, actual)
+	return nil
+}
+
+// renderPredictHead prints the warnings and fit-selection section exactly
+// as the pre-service CLI did — the golden tests in golden_test.go hold the
+// full output to byte identity.
+func renderPredictHead(resp *service.PredictResponse, boot int) {
+	if resp.CacheHit {
+		fmt.Printf("replayed the measurement series from %s\n", resp.StoreDir)
 	}
-	if tm == nil {
-		return fmt.Errorf("series machine %q is not a preset; name a -target machine", measured.Machine)
-	}
-	freqRatio := 1.0
-	if mm != nil {
-		freqRatio = mm.FreqGHz / tm.FreqGHz
-	} else {
+	if !resp.MachineKnown {
 		fmt.Printf("series machine %q has no preset frequency; predictions are not frequency-scaled to %s\n",
-			measured.Machine, tm.Name)
-	}
-	targets := sim.CoreRange(tm.NumCores())
-	pred, err := core.Predict(measured, targets, core.Options{
-		UseSoftware:  *useSoft,
-		Checkpoints:  *checkpoints,
-		FreqRatio:    freqRatio,
-		DatasetScale: *dataScale,
-		Bootstrap:    *boot,
-		CILevel:      *ci,
-	})
-	if err != nil {
-		return err
+			resp.Machine, resp.Target)
 	}
 
 	fmt.Printf("\nselected extrapolation functions:\n")
-	cats := make([]string, 0, len(pred.CategoryFits))
-	for cat := range pred.CategoryFits {
+	cats := make([]string, 0, len(resp.CategoryFits))
+	for cat := range resp.CategoryFits {
 		cats = append(cats, cat)
 	}
 	sort.Strings(cats)
 	for _, cat := range cats {
-		if pred.Stability != nil {
-			fmt.Printf("  %-14s %s  stability %.2f\n", cat, pred.CategoryFits[cat], pred.Stability[cat])
+		if resp.Stability != nil {
+			fmt.Printf("  %-14s %s  stability %.2f\n", cat, resp.CategoryFits[cat], resp.Stability[cat])
 			continue
 		}
-		fmt.Printf("  %-14s %s\n", cat, pred.CategoryFits[cat])
+		fmt.Printf("  %-14s %s\n", cat, resp.CategoryFits[cat])
 	}
-	if pred.Stability != nil {
-		fmt.Printf("  %-14s %s (scaling factor)  stability %.2f\n", "factor", pred.FactorFit, pred.FactorStability)
+	if resp.Stability != nil {
+		fmt.Printf("  %-14s %s (scaling factor)  stability %.2f\n", "factor", resp.FactorFit, resp.FactorStability)
 		fmt.Printf("\nbootstrap: %d/%d realistic resamples, %.0f%% confidence bands\n",
-			pred.Bootstraps, *boot, pred.CILevel)
+			resp.Bootstraps, boot, resp.CILevel)
 	} else {
-		fmt.Printf("  %-14s %s (scaling factor)\n", "factor", pred.FactorFit)
+		fmt.Printf("  %-14s %s (scaling factor)\n", "factor", resp.FactorFit)
 	}
-	fmt.Printf("\npredicted scaling stop: %d cores\n\n", pred.ScalingStop())
+	fmt.Printf("\npredicted scaling stop: %d cores\n\n", resp.ScalingStop)
+}
 
-	var actual []float64
-	if *compare && w == nil {
-		fmt.Printf("series workload %q is not a registered workload; skipping -compare\n", measured.Workload)
-		*compare = false
-	}
-	if *compare {
-		fmt.Printf("measuring actual behaviour on %s (this is the expensive step ESTIMA avoids)...\n", tm.Name)
-		key := store.Key{Workload: w.Name(), Machine: tm.Name, MaxCores: tm.NumCores(),
-			Scale: *scale * *dataScale, Engine: sim.EngineVersion}
-		act, _, err := st.GetOrCollect(key, func() (*counters.Series, error) {
-			return sim.CollectSeries(w, tm, targets, *scale**dataScale)
-		})
-		if err != nil {
-			return err
-		}
-		actual = act.Times()
-	}
+// renderPredictTable prints the per-core prediction table; actual is the
+// target machine's measured times (nil without -compare).
+func renderPredictTable(resp *service.PredictResponse, actual []float64) {
 	tbl := &report.Table{}
-	if pred.TimeLo != nil {
+	if resp.TimeLo != nil {
 		tbl.Headers = []string{"cores", "lo(s)", "predicted(s)", "hi(s)", "actual(s)", "err%"}
 	} else {
 		tbl.Headers = []string{"cores", "predicted(s)", "actual(s)", "err%"}
 	}
-	for i, c := range pred.TargetCores {
-		row := []any{int(c)}
-		if pred.TimeLo != nil {
-			row = append(row, report.Band{Lo: pred.TimeLo[i], Est: pred.Time[i],
-				Hi: pred.TimeHi[i], Format: report.Sec})
+	for i, c := range resp.TargetCores {
+		row := []any{c}
+		if resp.TimeLo != nil {
+			row = append(row, report.Band{Lo: resp.TimeLo[i], Est: resp.Time[i],
+				Hi: resp.TimeHi[i], Format: report.Sec})
 		} else {
-			row = append(row, report.Sec(pred.Time[i]))
+			row = append(row, report.Sec(resp.Time[i]))
 		}
 		if actual != nil {
-			row = append(row, report.Sec(actual[i]), report.Pct(stats.AbsPctErr(pred.Time[i], actual[i])))
+			row = append(row, report.Sec(actual[i]), report.Pct(stats.AbsPctErr(resp.Time[i], actual[i])))
 		} else {
 			row = append(row, "-", "-")
 		}
 		tbl.AddRow(row...)
 	}
 	fmt.Print(tbl.Render())
-	return nil
 }
 
 // cmdBottleneck reports the predicted dominant stall categories and their
-// code sites (paper §4.6).
-func cmdBottleneck(args []string) error {
+// code sites (paper §4.6). It needs the raw Prediction and measured series,
+// so it drives the core pipeline directly rather than the service facade.
+func cmdBottleneck(ctx context.Context, args []string) error {
 	fs := newFlagSet("bottleneck")
 	workload := fs.String("w", "", "workload name")
 	measMach := fs.String("m", "Opteron", "measurement machine")
 	measCores := fs.Int("meascores", 0, "cores to measure on (default: one processor)")
 	scale := fs.Float64("scale", 1, "dataset scale")
 	topN := fs.Int("top", 3, "sites per category")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	w, mm, err := lookup(*workload, *measMach)
+	w, err := workloads.Lookup(*workload)
+	if err != nil {
+		return err
+	}
+	mm, err := machine.Lookup(*measMach)
 	if err != nil {
 		return err
 	}
@@ -213,7 +214,7 @@ func cmdBottleneck(args []string) error {
 	if err != nil {
 		return err
 	}
-	pred, err := core.Predict(measured, sim.CoreRange(mm.NumCores()), core.Options{UseSoftware: true})
+	pred, err := core.PredictContext(ctx, measured, sim.CoreRange(mm.NumCores()), core.Options{UseSoftware: true})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/service"
+)
+
+// cmdServe runs the prediction service as an HTTP/JSON daemon: the same
+// versioned requests the CLI builds from flags, accepted over POST /v1/*.
+// The listener address is printed once serving starts ("listening on ..."),
+// so scripts can bind port 0 and parse the chosen port. SIGINT/SIGTERM
+// drain in-flight requests before exiting.
+func cmdServe(ctx context.Context, args []string) error {
+	fs := newFlagSet("serve")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	cacheDir := fs.String("cache", "", "measurement store directory shared by every request")
+	workers := fs.Int("workers", 0, "simulation worker bound (default: NumCPU)")
+	maxInFlight := fs.Int("max-inflight", 0, "concurrent /v1/* requests before queueing (default: 2x NumCPU)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	svc, err := service.New(service.Config{CacheDir: *cacheDir, Workers: *workers})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           service.NewHandler(svc, service.ServerConfig{MaxInFlight: *maxInFlight}),
+		ReadHeaderTimeout: 10 * time.Second,
+		// Bounds reading the (size-capped) request; handlers consume the
+		// body up front, so slow predictions are unaffected while a
+		// trickled body cannot pin a limiter slot indefinitely. No
+		// WriteTimeout: a full-scale prediction legitimately takes minutes
+		// before its one response write.
+		ReadTimeout: time.Minute,
+	}
+	fmt.Printf("estima serve listening on http://%s\n", ln.Addr())
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Printf("estima serve draining in-flight requests (up to %s)...\n", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		srv.Close()
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}

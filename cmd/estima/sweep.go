@@ -1,46 +1,21 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
-	"runtime"
 	"strings"
-	"sync"
 
 	"repro/internal/core"
-	"repro/internal/counters"
-	"repro/internal/machine"
 	"repro/internal/report"
-	"repro/internal/sim"
-	"repro/internal/store"
-	"repro/internal/workloads"
+	"repro/internal/service"
 )
 
-// sweepJob is one cell of the workload × machine prediction matrix.
-type sweepJob struct {
-	workload string
-	mach     *machine.Config
-}
-
-// sweepRow is the finished cell: the prediction summary or the error that
-// stopped it. Failures are per-cell so one pathological pair never sinks the
-// rest of the matrix.
-type sweepRow struct {
-	job       sweepJob
-	measCores int
-	stop      int
-	timeFull  float64
-	timeLo    float64
-	timeHi    float64
-	cacheHit  bool
-	err       error
-}
-
 // cmdSweep runs the full ESTIMA pipeline over every requested
-// workload × machine pair through a bounded worker pool: measure on one
-// processor (cached in -cache when set), extrapolate to the full machine,
-// and summarize the predictions as a table, CSV or JSON.
-func cmdSweep(args []string) error {
+// workload × machine pair through the service's bounded worker pool:
+// measure on one processor (cached in -cache when set), extrapolate to the
+// full machine, and summarize the predictions as a table, CSV or JSON.
+func cmdSweep(ctx context.Context, args []string) error {
 	fs := newFlagSet("sweep")
 	wlSpec := fs.String("w", "", "comma-separated workloads (default: the paper's Table 4 set)")
 	machSpec := fs.String("m", "", "comma-separated machines (default: all presets)")
@@ -52,7 +27,7 @@ func cmdSweep(args []string) error {
 	cacheDir := fs.String("cache", "", "measurement store directory, reused across runs")
 	boot := fs.Int("boot", 0, "residual-bootstrap resamples for confidence bands (0 = off)")
 	ci := fs.Float64("ci", core.DefaultCILevel, "two-sided confidence level (%) of the -boot bands")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	switch *format {
@@ -63,95 +38,60 @@ func cmdSweep(args []string) error {
 	if *boot > 0 && (*ci <= 0 || *ci >= 100) {
 		return fmt.Errorf("-ci %g out of range (0, 100)", *ci)
 	}
-
-	wls := workloads.Table4Names()
+	req := service.SweepRequest{
+		MeasCores: *measCores,
+		Scale:     *scale,
+		Soft:      *soft,
+		Workers:   *workers,
+		Bootstrap: *boot,
+		CILevel:   *ci,
+	}
 	if *wlSpec != "" {
-		wls = strings.Split(*wlSpec, ",")
+		req.Workloads = strings.Split(*wlSpec, ",")
 	}
-	for _, n := range wls {
-		if workloads.ByName(n) == nil {
-			return fmt.Errorf("unknown workload %q (try 'estima list')", n)
-		}
-	}
-	machs := machine.Presets()
 	if *machSpec != "" {
-		machs = nil
-		for _, n := range strings.Split(*machSpec, ",") {
-			m := machine.ByName(n)
-			if m == nil {
-				return fmt.Errorf("unknown machine %q (try 'estima list')", n)
-			}
-			machs = append(machs, m)
-		}
+		req.Machines = strings.Split(*machSpec, ",")
 	}
-	var st *store.Store
-	if *cacheDir != "" {
-		var err error
-		if st, err = store.Open(*cacheDir); err != nil {
-			return err
-		}
+	// -workers bounds the job pool AND the service's simulation semaphore,
+	// so it throttles total CPU exactly as it did pre-service.
+	svc, err := service.New(service.Config{CacheDir: *cacheDir, Workers: *workers})
+	if err != nil {
+		return err
 	}
-
-	var jobs []sweepJob
-	for _, w := range wls {
-		for _, m := range machs {
-			jobs = append(jobs, sweepJob{w, m})
-		}
+	resp, err := svc.Sweep(ctx, req)
+	if err != nil {
+		return err
 	}
-	if *workers <= 0 {
-		*workers = runtime.NumCPU()
-	}
-
-	// Bounded worker pool; results land at their job's index so output order
-	// is the deterministic workload × machine order, not completion order.
-	rows := make([]sweepRow, len(jobs))
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for i := 0; i < *workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range next {
-				rows[idx] = runSweepJob(jobs[idx], st, *measCores, *scale, *soft, *boot, *ci)
-			}
-		}()
-	}
-	for idx := range jobs {
-		next <- idx
-	}
-	close(next)
-	wg.Wait()
 
 	tbl := &report.Table{
-		Title:   fmt.Sprintf("prediction sweep (%d workloads x %d machines, scale %g)", len(wls), len(machs), *scale),
+		Title: fmt.Sprintf("prediction sweep (%d workloads x %d machines, scale %g)",
+			len(resp.Workloads), len(resp.Machines), *scale),
 		Headers: []string{"workload", "machine", "meas", "target", "stop", "t(full)s", "cache", "status"},
 	}
 	if *boot > 0 {
 		tbl.Title = fmt.Sprintf("prediction sweep (%d workloads x %d machines, scale %g, %d resamples at %g%% CI)",
-			len(wls), len(machs), *scale, *boot, *ci)
+			len(resp.Workloads), len(resp.Machines), *scale, *boot, *ci)
 		tbl.Headers = []string{"workload", "machine", "meas", "target", "stop",
 			"t(full)lo", "t(full)s", "t(full)hi", "cache", "status"}
 	}
-	failures := 0
-	for _, r := range rows {
-		if r.err != nil {
-			failures++
-			row := []any{r.job.workload, r.job.mach.Name, r.measCores, r.job.mach.NumCores(), "-"}
+	for _, c := range resp.Cells {
+		if c.Error != "" {
+			row := []any{c.Workload, c.Machine, c.MeasCores, c.TargetCores, "-"}
 			if *boot > 0 {
 				row = append(row, "-", "-", "-")
 			} else {
 				row = append(row, "-")
 			}
-			tbl.AddRow(append(row, cacheMark(r.cacheHit), r.err.Error())...)
+			tbl.AddRow(append(row, cacheMark(c.CacheHit), c.Error)...)
 			continue
 		}
-		row := []any{r.job.workload, r.job.mach.Name, r.measCores, r.job.mach.NumCores(), r.stop}
+		row := []any{c.Workload, c.Machine, c.MeasCores, c.TargetCores, c.Stop}
 		if *boot > 0 {
-			row = append(row, report.Band{Lo: r.timeLo, Est: r.timeFull, Hi: r.timeHi, Format: report.Sec})
+			row = append(row, report.Band{Lo: c.TimeLo, Est: c.TimeFull, Hi: c.TimeHi, Format: report.Sec})
 		} else {
-			row = append(row, report.Sec(r.timeFull))
+			row = append(row, report.Sec(c.TimeFull))
 		}
-		tbl.AddRow(append(row, cacheMark(r.cacheHit), "ok")...)
+		tbl.AddRow(append(row, cacheMark(c.CacheHit), "ok")...)
 	}
 	switch *format {
 	case "csv":
@@ -165,8 +105,8 @@ func cmdSweep(args []string) error {
 	default:
 		fmt.Print(tbl.Render())
 	}
-	if failures > 0 {
-		return fmt.Errorf("%d of %d predictions failed", failures, len(jobs))
+	if resp.Failures > 0 {
+		return fmt.Errorf("%d of %d predictions failed", resp.Failures, len(resp.Cells))
 	}
 	return nil
 }
@@ -176,46 +116,4 @@ func cacheMark(hit bool) string {
 		return "hit"
 	}
 	return "miss"
-}
-
-// runSweepJob measures (or replays) one workload on one machine's
-// measurement window and predicts the full machine (with bootstrap bands
-// when boot > 0).
-func runSweepJob(j sweepJob, st *store.Store, measCores int, scale float64, soft bool, boot int, ci float64) sweepRow {
-	r := sweepRow{job: j, measCores: measCores}
-	w := workloads.ByName(j.workload)
-	m := j.mach
-	if r.measCores <= 0 {
-		r.measCores = m.OneProcessorCores()
-	}
-	key := store.Key{Workload: j.workload, Machine: m.Name, MaxCores: r.measCores,
-		Scale: scale, Engine: sim.EngineVersion}
-	measured, hit, err := st.GetOrCollect(key, func() (*counters.Series, error) {
-		return sim.CollectSeries(w, m, sim.CoreRange(r.measCores), scale)
-	})
-	r.cacheHit = hit
-	if err != nil {
-		r.err = err
-		return r
-	}
-	// Workers: 1 — parallelism lives at the job level here; letting every
-	// concurrent job open its own NumCPU-wide fitting pool would
-	// oversubscribe the machine by workers × NumCPU.
-	pred, err := core.Predict(measured, sim.CoreRange(m.NumCores()), core.Options{
-		UseSoftware: soft,
-		Bootstrap:   boot,
-		CILevel:     ci,
-		Workers:     1,
-	})
-	if err != nil {
-		r.err = err
-		return r
-	}
-	r.stop = pred.ScalingStop()
-	r.timeFull = pred.Time[len(pred.Time)-1]
-	if pred.TimeLo != nil {
-		r.timeLo = pred.TimeLo[len(pred.TimeLo)-1]
-		r.timeHi = pred.TimeHi[len(pred.TimeHi)-1]
-	}
-	return r
 }

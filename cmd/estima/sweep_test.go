@@ -2,15 +2,21 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"os"
 	"strings"
 	"testing"
 
 	"repro/internal/machine"
+	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/workloads"
 )
+
+// bg is the background context shared by tests that don't exercise
+// cancellation.
+var bg = context.Background()
 
 // captureStdout runs fn with os.Stdout redirected to a buffer.
 func captureStdout(t *testing.T, fn func() error) (string, error) {
@@ -41,7 +47,7 @@ func TestSweepFullMatrixThroughWorkerPool(t *testing.T) {
 	args := []string{"-m", "Haswell", "-scale", "0.05", "-workers", "3",
 		"-cache", cache, "-format", "csv"}
 
-	cold, err := captureStdout(t, func() error { return cmdSweep(args) })
+	cold, err := captureStdout(t, func() error { return cmdSweep(bg, args) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +68,7 @@ func TestSweepFullMatrixThroughWorkerPool(t *testing.T) {
 		t.Errorf("store holds %d series, want %d", st.Len(), len(wls))
 	}
 
-	warm, err := captureStdout(t, func() error { return cmdSweep(args) })
+	warm, err := captureStdout(t, func() error { return cmdSweep(bg, args) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,30 +78,45 @@ func TestSweepFullMatrixThroughWorkerPool(t *testing.T) {
 }
 
 func TestSweepRejectsBadFlags(t *testing.T) {
-	if err := cmdSweep([]string{"-format", "xml"}); err == nil {
+	if err := cmdSweep(bg, []string{"-format", "xml"}); err == nil {
 		t.Error("bad format should error")
 	}
-	if err := cmdSweep([]string{"-w", "no-such-workload"}); err == nil {
+	if err := cmdSweep(bg, []string{"-w", "no-such-workload"}); err == nil {
 		t.Error("unknown workload should error")
 	}
-	if err := cmdSweep([]string{"-m", "no-such-machine"}); err == nil {
+	if err := cmdSweep(bg, []string{"-m", "no-such-machine"}); err == nil {
 		t.Error("unknown machine should error")
 	}
 }
 
-func TestRunSweepJobDefaultsMeasCoresToOneProcessor(t *testing.T) {
+func TestSweepCellDefaultsMeasCoresToOneProcessor(t *testing.T) {
+	svc, err := service.New(service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := svc.Sweep(bg, service.SweepRequest{
+		Workloads: []string{"blackscholes"},
+		Machines:  []string{"Xeon20"},
+		Scale:     0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(resp.Cells))
+	}
+	c := resp.Cells[0]
+	if c.Error != "" {
+		t.Fatal(c.Error)
+	}
 	m := machine.ByName("Xeon20")
-	r := runSweepJob(sweepJob{workload: "blackscholes", mach: m}, nil, 0, 0.05, false, 0, 0)
-	if r.err != nil {
-		t.Fatal(r.err)
+	if c.MeasCores != m.ChipsPerSocket*m.CoresPerChip {
+		t.Errorf("meas cores = %d, want one processor (%d)", c.MeasCores, m.ChipsPerSocket*m.CoresPerChip)
 	}
-	if r.measCores != m.ChipsPerSocket*m.CoresPerChip {
-		t.Errorf("measCores = %d, want one processor (%d)", r.measCores, m.ChipsPerSocket*m.CoresPerChip)
+	if c.Stop < 1 || c.Stop > m.NumCores() || c.TimeFull <= 0 {
+		t.Errorf("implausible prediction: stop=%d t=%g", c.Stop, c.TimeFull)
 	}
-	if r.stop < 1 || r.stop > m.NumCores() || r.timeFull <= 0 {
-		t.Errorf("implausible prediction: stop=%d t=%g", r.stop, r.timeFull)
-	}
-	if r.cacheHit {
-		t.Error("nil store cannot hit")
+	if c.CacheHit {
+		t.Error("store-less sweep cannot hit")
 	}
 }

@@ -17,7 +17,10 @@ import (
 
 func analyze(name, fixedName string) {
 	mach := machine.Opteron()
-	w := workloads.ByName(name)
+	w, err := workloads.Lookup(name)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	measured, err := sim.CollectSeries(w, mach, sim.CoreRange(12), 1)
 	if err != nil {
@@ -48,7 +51,11 @@ func analyze(name, fixedName string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fixed, err := sim.CollectSeries(workloads.ByName(fixedName), mach, []int{24, 48}, 1)
+	fw, err := workloads.Lookup(fixedName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fixed, err := sim.CollectSeries(fw, mach, []int{24, 48}, 1)
 	if err != nil {
 		log.Fatal(err)
 	}

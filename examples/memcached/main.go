@@ -17,7 +17,10 @@ import (
 func main() {
 	desktop := machine.HaswellDesktop()
 	server := machine.Xeon20()
-	w := workloads.ByName("memcached")
+	w, err := workloads.Lookup("memcached")
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// The desktop hosts clients on its remaining hardware contexts, so the
 	// server only gets three cores to measure on.

@@ -17,7 +17,10 @@ import (
 
 func main() {
 	mach := machine.Opteron()
-	w := workloads.ByName("vacation-low")
+	w, err := workloads.Lookup("vacation-low")
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Step A: collect measurements on one processor (12 of 48 cores).
 	measured, err := sim.CollectSeries(w, mach, sim.CoreRange(12), 1)

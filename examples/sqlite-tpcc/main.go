@@ -17,7 +17,10 @@ import (
 func main() {
 	desktop := machine.HaswellDesktop()
 	server := machine.Xeon20()
-	w := workloads.ByName("sqlite")
+	w, err := workloads.Lookup("sqlite")
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	measured, err := sim.CollectSeries(w, desktop, sim.CoreRange(4), 1)
 	if err != nil {

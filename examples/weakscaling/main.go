@@ -15,7 +15,10 @@ import (
 
 func main() {
 	mach := machine.Xeon20()
-	w := workloads.ByName("genome")
+	w, err := workloads.Lookup("genome")
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	measured, err := sim.CollectSeries(w, mach, sim.CoreRange(10), 1)
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -45,7 +46,7 @@ func benchmarkExtrapolate(b *testing.B, workers int) {
 	pl := NewPipeline(Options{Workers: workers})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := pl.Extrapolate(s, targets); err != nil {
+		if _, err := pl.Extrapolate(context.Background(), s, targets); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -44,8 +45,9 @@ type bootRep struct {
 //
 // Replicates run across the pipeline's worker pool; each replicate owns a
 // deterministic RNG derived from Options.Seed and its index, so the bands
-// are reproducible for any worker count.
-func (pl *Pipeline) bootstrap(series *counters.Series, ex *Extrapolation, p *Prediction) error {
+// are reproducible for any worker count. Cancelling ctx aborts the
+// replicate fan-out mid-bootstrap and returns ctx.Err().
+func (pl *Pipeline) bootstrap(ctx context.Context, series *counters.Series, ex *Extrapolation, p *Prediction) error {
 	n := pl.opt.Bootstrap
 	level := pl.opt.CILevel
 	if level <= 0 || level >= 100 {
@@ -81,10 +83,12 @@ func (pl *Pipeline) bootstrap(series *counters.Series, ex *Extrapolation, p *Pre
 	facRes := residuals(p.FactorFit, xs, factor)
 
 	reps := make([]bootRep, n)
-	pl.runIndexed(n, func(r int) {
+	if err := pl.runIndexed(ctx, n, func(r int) {
 		reps[r] = pl.oneReplicate(rand.New(rand.NewSource(seed+int64(r))),
 			xs, targets, fitted, catFits, catRes, p.FactorFit, factor, facRes, scale, freq)
-	})
+	}); err != nil {
+		return err
+	}
 
 	// Quantile bands over the surviving replicates.
 	var good []bootRep

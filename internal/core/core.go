@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -53,6 +54,12 @@ type Options struct {
 	// Workers bounds the worker pool the pipeline stages fan out over
 	// (per-category fitting, bootstrap replicates). 0 means NumCPU.
 	Workers int
+	// Gate, when non-nil, is a shared counting semaphore (a buffered
+	// channel) acquired around every unit of pool work — one category fit,
+	// one bootstrap replicate — so many concurrent pipelines can share one
+	// CPU budget instead of each opening a full-width pool. nil means
+	// ungated; results are identical either way.
+	Gate chan struct{}
 	// Bootstrap, when positive, runs that many residual-bootstrap
 	// resamples after the point prediction, filling Prediction.TimeLo,
 	// TimeHi and the fit-stability scores. 0 disables bootstrapping.
@@ -63,6 +70,29 @@ type Options struct {
 	// Seed seeds the bootstrap's deterministic resampling RNG. 0 means 1,
 	// so identical inputs always produce identical bands.
 	Seed int64
+}
+
+// Validate rejects option values that earlier versions silently "fixed".
+// Zero values always mean "use the default" and are valid; anything else
+// must be usable as given. It is called at the pipeline and service
+// boundaries, so a bad option surfaces as an error instead of a silent
+// substitution.
+func (o Options) Validate() error {
+	switch {
+	case o.Checkpoints < 0:
+		return fmt.Errorf("core: negative checkpoint count %d", o.Checkpoints)
+	case o.Workers < 0:
+		return fmt.Errorf("core: negative worker count %d", o.Workers)
+	case o.Bootstrap < 0:
+		return fmt.Errorf("core: negative bootstrap count %d", o.Bootstrap)
+	case o.CILevel != 0 && (o.CILevel <= 0 || o.CILevel >= 100):
+		return fmt.Errorf("core: confidence level %g%% outside (0, 100)", o.CILevel)
+	case o.FreqRatio < 0:
+		return fmt.Errorf("core: negative frequency ratio %g", o.FreqRatio)
+	case o.DatasetScale < 0:
+		return fmt.Errorf("core: negative dataset scale %g", o.DatasetScale)
+	}
+	return nil
 }
 
 // Prediction is the result of one ESTIMA run.
@@ -109,9 +139,17 @@ type Prediction struct {
 
 // Predict runs steps B and C on a measured series (plus the bootstrap
 // stage when Options.Bootstrap is set). It is a thin wrapper over the
-// staged Pipeline; callers needing individual stages use NewPipeline.
+// staged Pipeline; callers needing individual stages use NewPipeline, and
+// callers needing cancellation use PredictContext.
 func Predict(series *counters.Series, targetCores []int, opt Options) (*Prediction, error) {
-	return NewPipeline(opt).Run(series, targetCores)
+	return NewPipeline(opt).Run(context.Background(), series, targetCores)
+}
+
+// PredictContext is Predict with a context: cancelling ctx stops the
+// pipeline's fitting and bootstrap worker pools promptly and returns
+// ctx.Err().
+func PredictContext(ctx context.Context, series *counters.Series, targetCores []int, opt Options) (*Prediction, error) {
+	return NewPipeline(opt).Run(ctx, series, targetCores)
 }
 
 // approximateRelaxing runs the Figure 4 approximation, progressively

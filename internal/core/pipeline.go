@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -53,24 +54,46 @@ func (pl *Pipeline) workers(items int) int {
 
 // runIndexed fans fn(i) for i in [0, n) across the pipeline's worker pool
 // and waits for all of them. fn writes results by index, so completion
-// order never affects the outcome.
-func (pl *Pipeline) runIndexed(n int, fn func(i int)) {
+// order never affects the outcome. Cancelling ctx stops dispatching new
+// items, drains the workers, and returns ctx.Err(); items already handed to
+// a worker finish (each is one fit, bounded work), so the pool never leaks
+// goroutines.
+func (pl *Pipeline) runIndexed(ctx context.Context, n int, fn func(i int)) error {
 	next := make(chan int)
+	gate := pl.opt.Gate
 	var wg sync.WaitGroup
 	for w := 0; w < pl.workers(n); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain without doing the work
+				}
+				if gate != nil {
+					select {
+					case gate <- struct{}{}:
+					case <-ctx.Done():
+						continue
+					}
+				}
 				fn(i)
+				if gate != nil {
+					<-gate
+				}
 			}
 		}()
 	}
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			i = n // stop dispatching
+		}
 	}
 	close(next)
 	wg.Wait()
+	return ctx.Err()
 }
 
 // fitOptions is the fit configuration shared by the extrapolation and
@@ -184,8 +207,12 @@ type Extrapolation struct {
 // fit.Approximate search per category, the dominant cost of a prediction —
 // runs across the pipeline's worker pool. Each category is fitted
 // independently, so the result is identical to the sequential order
-// regardless of worker count.
-func (pl *Pipeline) Extrapolate(series *counters.Series, targets []float64) (*Extrapolation, error) {
+// regardless of worker count. Cancelling ctx aborts the fan-out and
+// returns ctx.Err().
+func (pl *Pipeline) Extrapolate(ctx context.Context, series *counters.Series, targets []float64) (*Extrapolation, error) {
+	if err := pl.opt.Validate(); err != nil {
+		return nil, err
+	}
 	if len(series.Samples) < 2 {
 		return nil, ErrTooFewSamples
 	}
@@ -209,7 +236,7 @@ func (pl *Pipeline) Extrapolate(series *counters.Series, targets []float64) (*Ex
 		err  error
 	}
 	results := make([]result, len(cats))
-	pl.runIndexed(len(cats), func(i int) {
+	if err := pl.runIndexed(ctx, len(cats), func(i int) {
 		if allNearZero(cats[i].ys) {
 			results[i] = result{vals: make([]float64, len(targets))}
 			return
@@ -220,7 +247,9 @@ func (pl *Pipeline) Extrapolate(series *counters.Series, targets []float64) (*Ex
 			return
 		}
 		results[i] = result{f: f, vals: evalClamped(f, targets, scale)}
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	for i, cat := range cats {
 		r := results[i]
@@ -323,8 +352,13 @@ func (pl *Pipeline) Times(ffit *fit.Fit, targets, stallsPerCore []float64) ([]fl
 
 // Run composes the stages into a full prediction. When Options.Bootstrap
 // is set it additionally runs the residual-bootstrap stage, filling
-// TimeLo/TimeHi and the per-category stability scores.
-func (pl *Pipeline) Run(series *counters.Series, targetCores []int) (*Prediction, error) {
+// TimeLo/TimeHi and the per-category stability scores. Cancelling ctx
+// stops the fitting and bootstrap worker pools promptly and returns
+// ctx.Err().
+func (pl *Pipeline) Run(ctx context.Context, series *counters.Series, targetCores []int) (*Prediction, error) {
+	if err := pl.opt.Validate(); err != nil {
+		return nil, err
+	}
 	if len(series.Samples) < 2 {
 		return nil, ErrTooFewSamples
 	}
@@ -332,7 +366,7 @@ func (pl *Pipeline) Run(series *counters.Series, targetCores []int) (*Prediction
 	if err != nil {
 		return nil, err
 	}
-	ex, err := pl.Extrapolate(series, targets)
+	ex, err := pl.Extrapolate(ctx, series, targets)
 	if err != nil {
 		return nil, err
 	}
@@ -357,7 +391,7 @@ func (pl *Pipeline) Run(series *counters.Series, targetCores []int) (*Prediction
 		Time:           times,
 	}
 	if pl.opt.Bootstrap > 0 {
-		if err := pl.bootstrap(series, ex, p); err != nil {
+		if err := pl.bootstrap(ctx, series, ex, p); err != nil {
 			return nil, err
 		}
 	}

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/counters"
 	"repro/internal/machine"
@@ -59,7 +62,7 @@ func TestPipelineStagesComposeToPredict(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex, err := pl.Extrapolate(s, targets)
+	ex, err := pl.Extrapolate(context.Background(), s, targets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +138,7 @@ func TestExtrapolateKeepsZeroCategories(t *testing.T) {
 	}
 	pl := NewPipeline(Options{})
 	targets, _ := Targets([]int{24})
-	ex, err := pl.Extrapolate(s, targets)
+	ex, err := pl.Extrapolate(context.Background(), s, targets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,6 +218,71 @@ func TestBootstrapIsDeterministicPerSeed(t *testing.T) {
 	}
 	if reflect.DeepEqual(a.TimeLo, c.TimeLo) && reflect.DeepEqual(a.TimeHi, c.TimeHi) {
 		t.Error("different seeds produced identical bands (suspicious)")
+	}
+}
+
+// Options that earlier versions silently "fixed" must now be rejected at
+// the pipeline boundary.
+func TestOptionsValidateRejectsBadValues(t *testing.T) {
+	bad := []Options{
+		{Workers: -1},
+		{Bootstrap: -5},
+		{Checkpoints: -2},
+		{CILevel: -10},
+		{CILevel: 100},
+		{CILevel: 250},
+		{FreqRatio: -1},
+		{DatasetScale: -0.5},
+	}
+	s := syntheticSeries(12)
+	for _, opt := range bad {
+		if err := opt.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", opt)
+		}
+		if _, err := Predict(s, []int{24}, opt); err == nil {
+			t.Errorf("Predict with %+v should fail validation", opt)
+		}
+	}
+	good := []Options{
+		{}, // all defaults
+		{Workers: 4, Bootstrap: 10, CILevel: 95, Checkpoints: 2},
+		{FreqRatio: 1.5, DatasetScale: 2},
+	}
+	for _, opt := range good {
+		if err := opt.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", opt, err)
+		}
+	}
+}
+
+// A cancelled context must abort Run promptly, even mid-bootstrap with a
+// large replicate count still queued.
+func TestRunAbortsOnContextCancel(t *testing.T) {
+	s := syntheticSeries(12)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewPipeline(Options{}).Run(ctx, s, []int{24, 48}); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled Run = %v, want context.Canceled", err)
+	}
+
+	// Cancel while the bootstrap stage is grinding through replicates: Run
+	// must return context.Canceled well before the full replicate count
+	// could have finished.
+	ctx, cancel = context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := NewPipeline(Options{Bootstrap: 1 << 20, Workers: 2}).Run(ctx, s, []int{24, 48})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let it reach the bootstrap fan-out
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled Run = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run did not abort after cancellation")
 	}
 }
 

@@ -53,7 +53,7 @@ func ablationAggregate(e *env) (*Result, error) {
 		measured := window(full, 12)
 		targets := coresFrom(12, 48)
 
-		fine, err := core.Predict(measured, targets, core.Options{UseSoftware: true})
+		fine, err := core.PredictContext(e.ctx, measured, targets, core.Options{UseSoftware: true})
 		if err != nil {
 			return nil, err
 		}
@@ -62,7 +62,7 @@ func ablationAggregate(e *env) (*Result, error) {
 			return nil, err
 		}
 
-		agg, err := core.Predict(aggregateSeries(measured, true), targets, core.Options{})
+		agg, err := core.PredictContext(e.ctx, aggregateSeries(measured, true), targets, core.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -93,7 +93,7 @@ func ablationCheckpoints(e *env) (*Result, error) {
 		targets := coresFrom(12, 48)
 		row := []any{name}
 		for _, c := range []int{2, 4} {
-			pred, err := core.Predict(measured, targets, core.Options{
+			pred, err := core.PredictContext(e.ctx, measured, targets, core.Options{
 				UseSoftware: usesSoftwareStalls(name), Checkpoints: c,
 			})
 			if err != nil {
@@ -135,7 +135,7 @@ func ablationKernels(e *env) (*Result, error) {
 		targets := coresFrom(12, 48)
 		row := []any{name}
 		for _, sub := range subsets {
-			pred, err := core.Predict(measured, targets, core.Options{
+			pred, err := core.PredictContext(e.ctx, measured, targets, core.Options{
 				UseSoftware: usesSoftwareStalls(name), Kernels: sub.kernels,
 			})
 			if err != nil {

@@ -3,18 +3,23 @@
 // called out in DESIGN.md. Each experiment returns a Result whose Text holds
 // the same rows/series the paper reports; cmd/estima-bench and bench_test.go
 // are thin wrappers around this package.
+//
+// Measurement collection is delegated to internal/service — the same
+// facade behind the CLI and the HTTP daemon — so the experiment harness can
+// never drift from the other entry points in how it measures, caches and
+// replays series.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/counters"
 	"repro/internal/machine"
+	"repro/internal/service"
 	"repro/internal/sim"
-	"repro/internal/store"
 	"repro/internal/workloads"
 )
 
@@ -82,11 +87,12 @@ func Title(id string) string {
 	return ""
 }
 
-// Run executes one experiment by id.
-func Run(id string, cfg Config) (*Result, error) {
+// Run executes one experiment by id. Cancelling ctx aborts measurement
+// collection and every prediction worker pool the experiment opened.
+func Run(ctx context.Context, id string, cfg Config) (*Result, error) {
 	for _, r := range runners {
 		if r.id == id {
-			e := newEnv(cfg.withDefaults())
+			e := newEnv(ctx, cfg.withDefaults())
 			res, err := r.fn(e)
 			if err != nil {
 				return nil, fmt.Errorf("experiment %s: %w", id, err)
@@ -99,98 +105,61 @@ func Run(id string, cfg Config) (*Result, error) {
 	return nil, fmt.Errorf("unknown experiment %q (known: %v)", id, IDs())
 }
 
-// env carries the config and a memoizing, parallel measurement collector
-// shared by one experiment run. When the config names a CacheDir, series
-// are also persisted through internal/store so later processes skip the
-// simulation entirely.
+// env carries one experiment run's context and its service client.
+// Measurement series come from an internal/service instance — memoized in
+// process, persisted through the store when the config names a CacheDir —
+// exactly as they do for the CLI and the HTTP daemon.
 type env struct {
-	cfg   Config
-	mu    sync.Mutex
-	cache map[seriesKey]*entry
-	sem   chan struct{}
-	store *store.Store
+	ctx context.Context
+	cfg Config
+	svc *service.Service
+	// sem bounds the CPU-bound prediction phases experiments fan out
+	// themselves (simulation concurrency is bounded inside the service by
+	// the same Workers count).
+	sem chan struct{}
 	// collect produces one measurement; tests stub it to observe (or deny)
-	// simulator invocations. Defaults to sim.Collect.
+	// simulator invocations. Defaults to sim.Collect. It must be set before
+	// the first series call.
 	collect func(w sim.Workload, m *machine.Config, cores int, scale float64) (counters.Sample, error)
 }
 
-type seriesKey struct {
-	workload string
-	machine  string
-	maxCores int
-	scale    float64
-}
-
-type entry struct {
-	once   sync.Once
-	series *counters.Series
-	err    error
-}
-
-func newEnv(cfg Config) *env {
+func newEnv(ctx context.Context, cfg Config) *env {
 	e := &env{
+		ctx:     ctx,
 		cfg:     cfg,
-		cache:   map[seriesKey]*entry{},
 		sem:     make(chan struct{}, cfg.Workers),
 		collect: sim.Collect,
 	}
-	if cfg.CacheDir != "" {
-		// A cache that cannot be opened disables persistence but never
-		// fails the run; the in-process memoization still applies.
-		e.store, _ = store.Open(cfg.CacheDir)
+	svcCfg := service.Config{
+		CacheDir: cfg.CacheDir,
+		Workers:  cfg.Workers,
+		// Indirect through the env so tests can swap e.collect after
+		// construction.
+		CollectSample: func(w sim.Workload, m *machine.Config, cores int, scale float64) (counters.Sample, error) {
+			return e.collect(w, m, cores, scale)
+		},
 	}
+	svc, err := service.New(svcCfg)
+	if err != nil {
+		// A cache that cannot be opened disables persistence but never
+		// fails the run; the service's in-process memoization still applies.
+		svcCfg.CacheDir = ""
+		svc, _ = service.New(svcCfg)
+	}
+	e.svc = svc
 	return e
 }
 
-// series measures workload on machine at cores 1..maxCores (memoized).
-// dataScale multiplies the experiment's base scale (weak-scaling runs).
+// series measures workload on machine at cores 1..maxCores through the
+// service (memoized; persisted when a CacheDir is configured). dataScale
+// multiplies the experiment's base scale (weak-scaling runs).
 func (e *env) series(workload string, m *machine.Config, maxCores int, dataScale float64) (*counters.Series, error) {
-	key := seriesKey{workload, m.Name, maxCores, dataScale}
-	e.mu.Lock()
-	ent, ok := e.cache[key]
-	if !ok {
-		ent = &entry{}
-		e.cache[key] = ent
+	w, err := workloads.Lookup(workload)
+	if err != nil {
+		return nil, err
 	}
-	e.mu.Unlock()
-	ent.once.Do(func() {
-		w := workloads.ByName(workload)
-		if w == nil {
-			ent.err = fmt.Errorf("unknown workload %q", workload)
-			return
-		}
-		sk := store.Key{Workload: workload, Machine: m.Name, MaxCores: maxCores,
-			Scale: e.cfg.Scale * dataScale, Engine: sim.EngineVersion}
-		if s, ok := e.store.Get(sk); ok {
-			ent.series = s
-			return
-		}
-		s := &counters.Series{Workload: workload, Machine: m.Name,
-			Scale: e.cfg.Scale * dataScale}
-		samples := make([]counters.Sample, maxCores)
-		errs := make([]error, maxCores)
-		var wg sync.WaitGroup
-		for c := 1; c <= maxCores; c++ {
-			wg.Add(1)
-			go func(c int) {
-				defer wg.Done()
-				e.sem <- struct{}{}
-				defer func() { <-e.sem }()
-				samples[c-1], errs[c-1] = e.collect(w, m, c, e.cfg.Scale*dataScale)
-			}(c)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				ent.err = err
-				return
-			}
-		}
-		s.Samples = samples
-		ent.series = s
-		e.store.Put(sk, s) // best-effort; a bad cache dir must not fail runs
-	})
-	return ent.series, ent.err
+	s, _, err := e.svc.Series(e.ctx, w, m, maxCores, e.cfg.Scale*dataScale)
+	return s, err
 }
 
 // window returns the first maxCores samples of a series as a new series

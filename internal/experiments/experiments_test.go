@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"strings"
@@ -11,6 +12,10 @@ import (
 	"repro/internal/machine"
 	"repro/internal/sim"
 )
+
+// bg is the background context shared by tests that don't exercise
+// cancellation.
+var bg = context.Background()
 
 // tinyScale keeps the smoke tests fast; the experiments only need enough
 // work to produce non-degenerate series.
@@ -44,7 +49,7 @@ func TestIDsAndTitles(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if _, err := Run("nope", Config{}); err == nil {
+	if _, err := Run(bg, "nope", Config{}); err == nil {
 		t.Error("unknown experiment should error")
 	}
 }
@@ -60,7 +65,7 @@ func TestQuickExperiments(t *testing.T) {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()
-			res, err := Run(id, Config{Scale: tinyScale})
+			res, err := Run(bg, id, Config{Scale: tinyScale})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -78,7 +83,7 @@ func TestFig6AtTinyScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("not short")
 	}
-	res, err := Run("fig6", Config{Scale: tinyScale})
+	res, err := Run(bg, "fig6", Config{Scale: tinyScale})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +102,7 @@ func TestSeriesWarmCacheAcrossEnvs(t *testing.T) {
 	cfg := Config{Scale: 0.05, Workers: 2, CacheDir: dir}.withDefaults()
 	m := machine.Opteron()
 
-	cold := newEnv(cfg)
+	cold := newEnv(bg, cfg)
 	var coldCalls atomic.Int64
 	cold.collect = func(w sim.Workload, mc *machine.Config, cores int, scale float64) (counters.Sample, error) {
 		coldCalls.Add(1)
@@ -111,7 +116,7 @@ func TestSeriesWarmCacheAcrossEnvs(t *testing.T) {
 		t.Fatalf("cold collection ran the simulator %d times, want 4", coldCalls.Load())
 	}
 
-	warm := newEnv(cfg)
+	warm := newEnv(bg, cfg)
 	warm.collect = func(w sim.Workload, mc *machine.Config, cores int, scale float64) (counters.Sample, error) {
 		return counters.Sample{}, fmt.Errorf("simulator invoked on a warm cache (%s, %d cores)", w.Name(), cores)
 	}
@@ -125,7 +130,7 @@ func TestSeriesWarmCacheAcrossEnvs(t *testing.T) {
 
 	// A different effective scale is a different key: it must re-collect,
 	// not replay the wrong series.
-	miss := newEnv(cfg)
+	miss := newEnv(bg, cfg)
 	var missCalls atomic.Int64
 	miss.collect = func(w sim.Workload, mc *machine.Config, cores int, scale float64) (counters.Sample, error) {
 		missCalls.Add(1)
@@ -142,7 +147,7 @@ func TestSeriesWarmCacheAcrossEnvs(t *testing.T) {
 // TestSeriesNoCacheDirStillWorks pins the default path: without a CacheDir
 // the env memoizes in process and never persists.
 func TestSeriesNoCacheDirStillWorks(t *testing.T) {
-	e := newEnv(Config{Scale: 0.05, Workers: 2}.withDefaults())
+	e := newEnv(bg, Config{Scale: 0.05, Workers: 2}.withDefaults())
 	m := machine.Opteron()
 	s1, err := e.series("genome", m, 3, 1)
 	if err != nil {

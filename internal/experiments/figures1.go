@@ -89,7 +89,7 @@ func fig5(e *env) (*Result, error) {
 	}
 	measured := window(full, 12)
 	targets := coresFrom(0, 48)
-	pred, err := core.Predict(measured, targets, core.Options{UseSoftware: true})
+	pred, err := core.PredictContext(e.ctx, measured, targets, core.Options{UseSoftware: true})
 	if err != nil {
 		return nil, err
 	}
@@ -132,7 +132,7 @@ func fig5(e *env) (*Result, error) {
 
 	ext := window(full, 48)
 	extTargets := coresFrom(12, 48)
-	predExt, err := core.Predict(measured, extTargets, core.Options{UseSoftware: true})
+	predExt, err := core.PredictContext(e.ctx, measured, extTargets, core.Options{UseSoftware: true})
 	if err != nil {
 		return nil, err
 	}
@@ -171,7 +171,7 @@ func fig6(e *env) (*Result, error) {
 			return nil, err
 		}
 		targets := coresFrom(0, server.NumCores())
-		pred, err := core.Predict(meas, targets, core.Options{FreqRatio: freqRatio})
+		pred, err := core.PredictContext(e.ctx, meas, targets, core.Options{FreqRatio: freqRatio})
 		if err != nil {
 			return nil, err
 		}

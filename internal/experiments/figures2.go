@@ -32,7 +32,7 @@ func opteronPrediction(e *env, name string) (pred *core.Prediction, tx *timex.Pr
 	}
 	measured := window(full, 12)
 	targets := coresFrom(12, 48)
-	pred, err = core.Predict(measured, targets, core.Options{UseSoftware: usesSoftwareStalls(name)})
+	pred, err = core.PredictContext(e.ctx, measured, targets, core.Options{UseSoftware: usesSoftwareStalls(name)})
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -119,7 +119,7 @@ func fig9(e *env) (*Result, error) {
 			return nil, err
 		}
 		targets := coresFrom(0, m.NumCores())
-		pred, err := core.Predict(meas, targets, core.Options{
+		pred, err := core.PredictContext(e.ctx, meas, targets, core.Options{
 			UseSoftware:  usesSoftwareStalls(name),
 			DatasetScale: 2,
 		})

@@ -39,7 +39,7 @@ func fig13(e *env) (*Result, error) {
 		targets := coresFrom(12, 48)
 		row := []any{name}
 		for _, useSoft := range []bool{false, true} {
-			pred, err := core.Predict(measured, targets, core.Options{UseSoftware: useSoft})
+			pred, err := core.PredictContext(e.ctx, measured, targets, core.Options{UseSoftware: useSoft})
 			if err != nil {
 				return nil, err
 			}
@@ -107,7 +107,7 @@ func fig15(e *env) (*Result, error) {
 	for i, measCores := range []int{12, 24} {
 		measured := window(full, measCores)
 		targets := coresFrom(measCores, 48)
-		pred, err := core.Predict(measured, targets, core.Options{UseSoftware: true})
+		pred, err := core.PredictContext(e.ctx, measured, targets, core.Options{UseSoftware: true})
 		if err != nil {
 			return nil, err
 		}
@@ -149,7 +149,7 @@ func fig16(e *env) (*Result, error) {
 		for _, measCores := range []int{10, 14} {
 			measured := window(full, measCores)
 			targets := coresFrom(measCores, m.NumCores())
-			pred, err := core.Predict(measured, targets, core.Options{UseSoftware: usesSoftwareStalls(name)})
+			pred, err := core.PredictContext(e.ctx, measured, targets, core.Options{UseSoftware: usesSoftwareStalls(name)})
 			if err != nil {
 				return nil, err
 			}

@@ -26,7 +26,7 @@ func table4Row(e *env, name string, m *machine.Config, measCores int, bands []co
 	}
 	measured := window(full, measCores)
 	targets := coresFrom(measCores, m.NumCores())
-	pred, err := core.Predict(measured, targets, core.Options{UseSoftware: usesSoftwareStalls(name)})
+	pred, err := core.PredictContext(e.ctx, measured, targets, core.Options{UseSoftware: usesSoftwareStalls(name)})
 	if err != nil {
 		return nil, err
 	}
@@ -277,7 +277,7 @@ func table7(e *env) (*Result, error) {
 				return
 			}
 			targets := coresFrom(x20.NumCores(), x48.NumCores())
-			pred, err := core.Predict(meas, targets, core.Options{
+			pred, err := core.PredictContext(e.ctx, meas, targets, core.Options{
 				UseSoftware: usesSoftwareStalls(name),
 				FreqRatio:   freqRatio,
 			})

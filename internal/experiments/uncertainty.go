@@ -55,7 +55,7 @@ func uncertainty(e *env) (*Result, error) {
 			// same way it bounds simulation; Workers: 1 keeps each
 			// prediction from opening a second NumCPU-wide pool inside it.
 			e.sem <- struct{}{}
-			pred, err := core.Predict(measured, targets, core.Options{
+			pred, err := core.PredictContext(e.ctx, measured, targets, core.Options{
 				UseSoftware: usesSoftwareStalls(name),
 				Bootstrap:   uncertaintyBoot,
 				Workers:     1,

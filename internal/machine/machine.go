@@ -5,7 +5,11 @@
 // machines of the paper's evaluation (§4.2, §5.1).
 package machine
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/names"
+)
 
 // Arch identifies the processor family, which determines the set of backend
 // stalled-cycle performance-counter events (paper Tables 2 and 3).
@@ -232,6 +236,9 @@ func Presets() []*Config {
 }
 
 // ByName returns the preset with the given name, or nil.
+//
+// Deprecated: use Lookup, which can never be nil-dereferenced and attaches a
+// closest-match suggestion to the error.
 func ByName(name string) *Config {
 	for _, m := range Presets() {
 		if m.Name == name {
@@ -239,4 +246,17 @@ func ByName(name string) *Config {
 		}
 	}
 	return nil
+}
+
+// Lookup returns the preset with the given name, or an error naming the
+// closest preset when the name looks like a typo.
+func Lookup(name string) (*Config, error) {
+	if m := ByName(name); m != nil {
+		return m, nil
+	}
+	var known []string
+	for _, m := range Presets() {
+		known = append(known, m.Name)
+	}
+	return nil, fmt.Errorf("unknown machine %q%s", name, names.Suggestion(name, known))
 }

@@ -1,0 +1,83 @@
+// Package names implements the "did you mean" suggestions the service and
+// CLI attach to unknown-name errors: given a mistyped workload or machine
+// name, Closest finds the most plausible registered name so the error is
+// actionable instead of a bare "unknown".
+package names
+
+import "strings"
+
+// maxSuggestDistance bounds how different a candidate may be (relative to
+// its length) and still be suggested; beyond it the typo theory is no longer
+// plausible and a suggestion would only mislead.
+const maxSuggestDistance = 3
+
+// Closest returns the candidate most similar to name, or "" when nothing is
+// close enough to be a plausible typo. Matching is case-insensitive and
+// prefers exact case-folded matches, then substring matches, then minimum
+// edit distance.
+func Closest(name string, candidates []string) string {
+	if name == "" || len(candidates) == 0 {
+		return ""
+	}
+	lower := strings.ToLower(name)
+	best, bestDist := "", maxSuggestDistance+1
+	for _, c := range candidates {
+		cl := strings.ToLower(c)
+		if cl == lower {
+			return c
+		}
+		// A containment is a stronger signal than any edit distance
+		// ("xeon" → "Xeon20"), but only once the input is long enough to
+		// mean something: one or two characters are contained in almost
+		// every name, and a confident wrong suggestion is worse than none.
+		if len(lower) >= 3 && (strings.Contains(cl, lower) || strings.Contains(lower, cl)) {
+			if bestDist > 0 {
+				best, bestDist = c, 0
+			}
+			continue
+		}
+		if d := editDistance(lower, cl); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	// Very short names reach everything within 3 edits; require the
+	// distance to stay below the candidate's own length to mean anything.
+	if best != "" && bestDist >= len(best) {
+		return ""
+	}
+	return best
+}
+
+// Suggestion formats Closest's result as an error suffix: ` (did you mean
+// "X"?)`, or "" when there is no plausible match.
+func Suggestion(name string, candidates []string) string {
+	if c := Closest(name, candidates); c != "" {
+		return ` (did you mean "` + c + `"?)`
+	}
+	return ""
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	ra, rb := []rune(a), []rune(b)
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}

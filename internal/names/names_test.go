@@ -1,0 +1,55 @@
+package names
+
+import "testing"
+
+func TestClosest(t *testing.T) {
+	machines := []string{"Haswell", "Opteron", "Xeon20", "Xeon48"}
+	workloads := []string{"intruder", "genome", "vacation-low", "streamcluster"}
+	cases := []struct {
+		name       string
+		candidates []string
+		want       string
+	}{
+		{"opteron", machines, "Opteron"},    // case fold
+		{"Opteorn", machines, "Opteron"},    // transposition
+		{"xeon", machines, "Xeon20"},        // prefix/containment
+		{"intrduer", workloads, "intruder"}, // transposition
+		{"genom", workloads, "genome"},      // deletion
+		{"streamclutser", workloads, "streamcluster"},
+		{"zzzzzzzz", workloads, ""}, // nothing plausible
+		{"", machines, ""},          // empty input
+		{"qq", machines, ""},        // short junk reaches nothing
+	}
+	for _, c := range cases {
+		if got := Closest(c.name, c.candidates); got != c.want {
+			t.Errorf("Closest(%q) = %q, want %q", c.name, got, c.want)
+		}
+	}
+	if got := Closest("x", nil); got != "" {
+		t.Errorf("Closest with no candidates = %q", got)
+	}
+}
+
+func TestSuggestion(t *testing.T) {
+	if got := Suggestion("opteron", []string{"Opteron"}); got != ` (did you mean "Opteron"?)` {
+		t.Errorf("Suggestion = %q", got)
+	}
+	if got := Suggestion("zzz", []string{"Opteron"}); got != "" {
+		t.Errorf("no-match Suggestion = %q", got)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0}, {"a", "", 1}, {"", "ab", 2},
+		{"kitten", "sitting", 3}, {"genome", "genome", 0},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+)
+
+// ServerConfig configures the HTTP front end.
+type ServerConfig struct {
+	// MaxInFlight bounds concurrently executing /v1/* requests; arrivals
+	// beyond it queue until a slot frees or their context dies. 0 means
+	// 2×NumCPU. /healthz is never limited, so liveness probes stay
+	// responsive under load.
+	MaxInFlight int
+}
+
+// limiter is a semaphore bounding in-flight requests, with a gauge the
+// health endpoint reports.
+type limiter struct {
+	slots    chan struct{}
+	inFlight atomic.Int64
+}
+
+func newLimiter(capacity int) *limiter {
+	return &limiter{slots: make(chan struct{}, capacity)}
+}
+
+// acquire blocks until a slot frees or ctx dies.
+func (l *limiter) acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		l.inFlight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (l *limiter) release() {
+	l.inFlight.Add(-1)
+	<-l.slots
+}
+
+func (l *limiter) capacity() int { return cap(l.slots) }
+
+// errorJSON is the error body of every non-2xx response.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// NewHandler wraps a Service in the HTTP/JSON API:
+//
+//	POST /v1/predict    PredictRequest  → PredictResponse
+//	POST /v1/sweep      SweepRequest    → SweepResponse
+//	POST /v1/collect    CollectRequest  → CollectResponse
+//	GET  /v1/workloads                  → ListResponse (workloads only)
+//	GET  /v1/machines                   → ListResponse (machines only)
+//	GET  /healthz                       → liveness + in-flight gauge
+//
+// Every /v1/* request runs under the in-flight limiter and the request's
+// context, so a disconnecting client cancels its pipeline workers.
+func NewHandler(svc *Service, cfg ServerConfig) http.Handler {
+	capacity := cfg.MaxInFlight
+	if capacity <= 0 {
+		capacity = 2 * runtime.NumCPU()
+	}
+	lim := newLimiter(capacity)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":    "ok",
+			"version":   APIVersion,
+			"in_flight": lim.inFlight.Load(),
+			"capacity":  lim.capacity(),
+		})
+	})
+	mux.Handle("POST /v1/predict", limited(lim, handleJSON(svc.Predict)))
+	mux.Handle("POST /v1/sweep", limited(lim, handleJSON(svc.Sweep)))
+	mux.Handle("POST /v1/collect", limited(lim, handleJSON(svc.Collect)))
+	mux.Handle("GET /v1/workloads", limited(lim, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		resp, err := svc.List(r.Context(), ListRequest{})
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			APIVersion string   `json:"api_version"`
+			Workloads  []string `json:"workloads"`
+		}{resp.APIVersion, resp.Workloads})
+	})))
+	mux.Handle("GET /v1/machines", limited(lim, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		resp, err := svc.List(r.Context(), ListRequest{})
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			APIVersion string        `json:"api_version"`
+			Machines   []MachineInfo `json:"machines"`
+		}{resp.APIVersion, resp.Machines})
+	})))
+	return mux
+}
+
+// limited wraps a handler in the in-flight limiter.
+func limited(lim *limiter, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := lim.acquire(r.Context()); err != nil {
+			// The client gave up while queued; nothing useful to send, but
+			// 503 documents the outcome for proxies that still listen.
+			writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "request cancelled while queued"})
+			return
+		}
+		defer lim.release()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// maxBodyBytes bounds request bodies. The largest legitimate request is a
+// replayed measurement-series document (~100 KB for a 48-core series); 8 MB
+// leaves generous headroom while keeping a hostile body from ballooning
+// server memory.
+const maxBodyBytes = 8 << 20
+
+// handleJSON adapts one typed service method to HTTP: decode the
+// size-capped request body strictly, execute under the request context,
+// encode the response.
+func handleJSON[Req any, Resp any](fn func(context.Context, Req) (*Resp, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req Req
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("decoding request: %v", err)})
+			return
+		}
+		resp, err := fn(r.Context(), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+}
+
+// writeError maps service errors to status codes: the caller's fault → 400,
+// a dead client → 499 (nginx's convention for "client closed request"),
+// deadline → 504, everything else → 500.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case IsBadRequest(err):
+		status = http.StatusBadRequest
+	case errors.Is(err, context.Canceled):
+		status = 499
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	}
+	writeJSON(w, status, errorJSON{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // the response is already built; a broken pipe here is the client's problem
+}

@@ -1,0 +1,283 @@
+package service
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Predict answers a PredictRequest: one full ESTIMA pipeline run — measure
+// (or replay) at low core counts, extrapolate every stall category, fit the
+// scaling factor, predict the target machine, and optionally measure the
+// target for comparison. Cancelling ctx aborts measurement and the
+// pipeline's worker pools.
+func (s *Service) Predict(ctx context.Context, req PredictRequest) (*PredictResponse, error) {
+	if err := checkVersion(req.APIVersion); err != nil {
+		return nil, err
+	}
+	opt := core.Options{
+		UseSoftware:  req.Soft,
+		Checkpoints:  req.Checkpoints,
+		DatasetScale: req.DataScale,
+		Bootstrap:    req.Bootstrap,
+		CILevel:      req.CILevel,
+		Workers:      s.cfg.Workers,
+		// The service semaphore gates fitting and bootstrap work too, so
+		// concurrent requests share one CPU budget instead of each opening
+		// a full-width pool.
+		Gate: s.sem,
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, &BadRequestError{Err: err}
+	}
+	scale := defaultScale(req.Scale)
+
+	resp := &PredictResponse{APIVersion: APIVersion, ScaleRecorded: true}
+	var (
+		w        sim.Workload    // nil when a replayed series names no registered workload
+		mm       *machine.Config // nil when a replayed series names no preset machine
+		measured *counters.Series
+	)
+	if len(req.Series) > 0 {
+		var err error
+		if measured, err = counters.DecodeSeries(req.Series); err != nil {
+			return nil, &BadRequestError{Err: err}
+		}
+		// The series may come from outside the simulator (a real perf
+		// collector), so its workload and machine need not be registered;
+		// they are only required for comparison and frequency scaling.
+		w = workloads.ByName(measured.Workload)
+		mm = machine.ByName(measured.Machine)
+		// Re-measuring comparable behaviour needs the scale the series was
+		// collected at; an externally collected file may not record it.
+		if measured.Scale > 0 {
+			scale = measured.Scale
+		} else {
+			resp.ScaleRecorded = false
+		}
+		resp.Workload = measured.Workload
+		resp.Machine = measured.Machine
+	} else {
+		var err error
+		if w, mm, err = resolve(req.Workload, req.Machine); err != nil {
+			return nil, err
+		}
+		measCores := req.MeasCores
+		if measCores <= 0 {
+			measCores = mm.OneProcessorCores()
+		}
+		resp.Workload = w.Name()
+		resp.Machine = mm.Name
+		resp.MeasCores = measCores
+		if measured, resp.CacheHit, err = s.series(ctx, w, mm, measCores, scale); err != nil {
+			return nil, err
+		}
+		resp.StoreDir = s.store.Dir()
+	}
+	resp.Samples = len(measured.Samples)
+	resp.Scale = scale
+	resp.WorkloadKnown = w != nil
+	resp.MachineKnown = mm != nil
+
+	tm := mm
+	if req.Target != "" {
+		var err error
+		if tm, err = machine.Lookup(req.Target); err != nil {
+			return nil, &BadRequestError{Err: err}
+		}
+	}
+	if tm == nil {
+		return nil, badRequest("series machine %q is not a preset; name a target machine", measured.Machine)
+	}
+	resp.Target = tm.Name
+	if mm != nil {
+		opt.FreqRatio = mm.FreqGHz / tm.FreqGHz
+	}
+
+	targets := sim.CoreRange(tm.NumCores())
+	pred, err := core.PredictContext(ctx, measured, targets, opt)
+	if err != nil {
+		return nil, err
+	}
+	resp.CategoryFits = map[string]string{}
+	for cat, f := range pred.CategoryFits {
+		resp.CategoryFits[cat] = f.String()
+	}
+	resp.FactorFit = pred.FactorFit.String()
+	resp.Stability = pred.Stability
+	resp.FactorStability = pred.FactorStability
+	resp.Bootstraps = pred.Bootstraps
+	resp.CILevel = pred.CILevel
+	resp.ScalingStop = pred.ScalingStop()
+	resp.TargetCores = make([]int, len(pred.TargetCores))
+	for i, c := range pred.TargetCores {
+		resp.TargetCores[i] = int(c)
+	}
+	resp.Time = pred.Time
+	resp.TimeLo = pred.TimeLo
+	resp.TimeHi = pred.TimeHi
+
+	// Comparison measures the target machine — the expensive step ESTIMA
+	// avoids — and needs a registered workload to re-run.
+	if req.Compare && w != nil {
+		dataScale := req.DataScale
+		if dataScale <= 0 {
+			dataScale = 1
+		}
+		act, _, err := s.series(ctx, w, tm, tm.NumCores(), scale*dataScale)
+		if err != nil {
+			return nil, err
+		}
+		resp.Compared = true
+		resp.Actual = act.Times()
+		resp.ErrorPct = make([]float64, len(resp.Time))
+		for i := range resp.Time {
+			resp.ErrorPct[i] = stats.AbsPctErr(resp.Time[i], resp.Actual[i])
+		}
+	}
+	return resp, nil
+}
+
+// Sweep answers a SweepRequest: the workload × machine matrix through a
+// bounded job-level worker pool. Cells land at their matrix index, so the
+// response order is the deterministic workload × machine order, not
+// completion order.
+func (s *Service) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
+	if err := checkVersion(req.APIVersion); err != nil {
+		return nil, err
+	}
+	if req.Bootstrap < 0 {
+		return nil, badRequest("negative bootstrap count %d", req.Bootstrap)
+	}
+	if req.CILevel != 0 && (req.CILevel <= 0 || req.CILevel >= 100) {
+		return nil, badRequest("confidence level %g%% outside (0, 100)", req.CILevel)
+	}
+	wls := req.Workloads
+	if len(wls) == 0 {
+		wls = workloads.Table4Names()
+	}
+	for _, n := range wls {
+		if _, err := workloads.Lookup(n); err != nil {
+			return nil, &BadRequestError{Err: err}
+		}
+	}
+	machs := machine.Presets()
+	if len(req.Machines) > 0 {
+		machs = nil
+		for _, n := range req.Machines {
+			m, err := machine.Lookup(n)
+			if err != nil {
+				return nil, &BadRequestError{Err: err}
+			}
+			machs = append(machs, m)
+		}
+	}
+	scale := defaultScale(req.Scale)
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+
+	type job struct {
+		workload string
+		mach     *machine.Config
+	}
+	var jobs []job
+	for _, wl := range wls {
+		for _, m := range machs {
+			jobs = append(jobs, job{wl, m})
+		}
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	resp := &SweepResponse{APIVersion: APIVersion, Workloads: wls}
+	for _, m := range machs {
+		resp.Machines = append(resp.Machines, m.Name)
+	}
+	resp.Cells = make([]SweepCell, len(jobs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				resp.Cells[idx] = s.sweepCell(ctx, jobs[idx].workload, jobs[idx].mach,
+					req.MeasCores, scale, req.Soft, req.Bootstrap, req.CILevel)
+			}
+		}()
+	}
+dispatch:
+	for idx := range jobs {
+		select {
+		case next <- idx:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, c := range resp.Cells {
+		if c.Error != "" {
+			resp.Failures++
+		}
+	}
+	return resp, nil
+}
+
+// sweepCell measures (or replays) one workload on one machine's measurement
+// window and predicts the full machine. Failures are recorded in the cell,
+// never propagated: one pathological pair must not sink the matrix.
+func (s *Service) sweepCell(ctx context.Context, workload string, m *machine.Config,
+	measCores int, scale float64, soft bool, boot int, ci float64) SweepCell {
+
+	cell := SweepCell{Workload: workload, Machine: m.Name, TargetCores: m.NumCores()}
+	if measCores <= 0 {
+		measCores = m.OneProcessorCores()
+	}
+	cell.MeasCores = measCores
+	w, err := workloads.Lookup(workload)
+	if err != nil {
+		cell.Error = err.Error()
+		return cell
+	}
+	measured, hit, err := s.series(ctx, w, m, measCores, scale)
+	cell.CacheHit = hit
+	if err != nil {
+		cell.Error = err.Error()
+		return cell
+	}
+	// Workers: 1 — parallelism lives at the job level here; letting every
+	// concurrent job open its own NumCPU-wide fitting pool would
+	// oversubscribe the machine by workers × NumCPU. The service gate
+	// additionally bounds total fitting work across in-flight requests.
+	pred, err := core.PredictContext(ctx, measured, sim.CoreRange(m.NumCores()), core.Options{
+		UseSoftware: soft,
+		Bootstrap:   boot,
+		CILevel:     ci,
+		Workers:     1,
+		Gate:        s.sem,
+	})
+	if err != nil {
+		cell.Error = err.Error()
+		return cell
+	}
+	cell.Stop = pred.ScalingStop()
+	cell.TimeFull = pred.Time[len(pred.Time)-1]
+	if pred.TimeLo != nil {
+		cell.TimeLo = pred.TimeLo[len(pred.TimeLo)-1]
+		cell.TimeHi = pred.TimeHi[len(pred.TimeHi)-1]
+	}
+	return cell
+}

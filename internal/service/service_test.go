@@ -1,0 +1,281 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/counters"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// bg is the background context shared by tests that don't exercise
+// cancellation.
+var bg = context.Background()
+
+func newTestService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func TestNewRejectsUnusableCacheDir(t *testing.T) {
+	// A path under an existing file cannot be MkdirAll'd.
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{CacheDir: filepath.Join(file, "sub")}); err == nil {
+		t.Error("unusable cache dir should fail New")
+	}
+	if _, err := New(Config{Workers: -1}); err == nil {
+		t.Error("negative workers should fail New")
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	svc := newTestService(t, Config{})
+	cases := []struct {
+		name string
+		call func() error
+		want string
+	}{
+		{"bad version", func() error {
+			_, err := svc.Predict(bg, PredictRequest{APIVersion: "v99", Workload: "intruder", Machine: "Haswell"})
+			return err
+		}, "unsupported api version"},
+		{"unknown workload with suggestion", func() error {
+			_, err := svc.Predict(bg, PredictRequest{Workload: "intrduer", Machine: "Haswell"})
+			return err
+		}, `did you mean "intruder"?`},
+		{"unknown machine with suggestion", func() error {
+			_, err := svc.Predict(bg, PredictRequest{Workload: "intruder", Machine: "haswel"})
+			return err
+		}, `did you mean "Haswell"?`},
+		{"negative bootstrap", func() error {
+			_, err := svc.Predict(bg, PredictRequest{Workload: "intruder", Machine: "Haswell", Bootstrap: -1})
+			return err
+		}, "negative bootstrap"},
+		{"ci out of range", func() error {
+			_, err := svc.Predict(bg, PredictRequest{Workload: "intruder", Machine: "Haswell", Bootstrap: 10, CILevel: 150})
+			return err
+		}, "outside (0, 100)"},
+		{"unknown target", func() error {
+			_, err := svc.Predict(bg, PredictRequest{Workload: "intruder", Machine: "Haswell", Target: "Xeon99"})
+			return err
+		}, "unknown machine"},
+		{"garbage series", func() error {
+			_, err := svc.Predict(bg, PredictRequest{Series: []byte("{")})
+			return err
+		}, "decoding series"},
+		{"sweep unknown workload", func() error {
+			_, err := svc.Sweep(bg, SweepRequest{Workloads: []string{"nope"}})
+			return err
+		}, "unknown workload"},
+		{"collect bad cores", func() error {
+			_, err := svc.Collect(bg, CollectRequest{Workload: "intruder", Machine: "Haswell", Cores: "0-4"})
+			return err
+		}, "bad core range"},
+		{"curve bad cores", func() error {
+			_, err := svc.Curve(bg, CurveRequest{Workload: "intruder", Machine: "Haswell", Cores: "x"})
+			return err
+		}, "bad core count"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.call()
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !IsBadRequest(err) {
+				t.Errorf("error %v is not a BadRequestError", err)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+// A prediction from a replayed series document must match the simulate path
+// exactly: one code path, two entrances.
+func TestPredictReplayMatchesSimulate(t *testing.T) {
+	svc := newTestService(t, Config{})
+	direct, err := svc.Predict(bg, PredictRequest{Workload: "intruder", Machine: "Haswell", Scale: 0.05, Compare: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := svc.Collect(bg, CollectRequest{Workload: "intruder", Machine: "Haswell", Cores: "1-4", Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := svc.Predict(bg, PredictRequest{Series: col.Series, Compare: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct.Time, replay.Time) {
+		t.Errorf("replayed prediction differs:\n%v\n%v", direct.Time, replay.Time)
+	}
+	if !reflect.DeepEqual(direct.Actual, replay.Actual) {
+		t.Errorf("replayed comparison differs")
+	}
+	if replay.MeasCores != 0 || replay.Samples != 4 {
+		t.Errorf("replay metadata: meas=%d samples=%d", replay.MeasCores, replay.Samples)
+	}
+}
+
+// Concurrent requests for the same series share one simulation, and a
+// second service over the same cache dir replays from disk.
+func TestSeriesMemoizationAndStore(t *testing.T) {
+	dir := t.TempDir()
+	var calls atomic.Int64
+	counting := func(w sim.Workload, m *machine.Config, cores int, scale float64) (counters.Sample, error) {
+		calls.Add(1)
+		return sim.Collect(w, m, cores, scale)
+	}
+	svc := newTestService(t, Config{CacheDir: dir, CollectSample: counting})
+	w, err := workloads.Lookup("genome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.ByName("Haswell")
+	first, hit, err := svc.Series(bg, w, m, 4, 0.05)
+	if err != nil || hit {
+		t.Fatalf("cold series: hit=%v err=%v", hit, err)
+	}
+	if calls.Load() != 4 {
+		t.Fatalf("cold collection ran the simulator %d times, want 4", calls.Load())
+	}
+	second, _, err := svc.Series(bg, w, m, 4, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("in-process memoization should return the same series pointer")
+	}
+	if calls.Load() != 4 {
+		t.Errorf("memoized read re-ran the simulator (%d calls)", calls.Load())
+	}
+
+	denying := func(w sim.Workload, m *machine.Config, cores int, scale float64) (counters.Sample, error) {
+		t.Errorf("simulator invoked on a warm cache (%s, %d cores)", w.Name(), cores)
+		return counters.Sample{}, nil
+	}
+	warm := newTestService(t, Config{CacheDir: dir, CollectSample: denying})
+	replayed, hit, err := warm.Series(bg, w, m, 4, 0.05)
+	if err != nil || !hit {
+		t.Fatalf("warm series: hit=%v err=%v", hit, err)
+	}
+	if !reflect.DeepEqual(first, replayed) {
+		t.Error("store replay differs from the collected series")
+	}
+}
+
+// A cancelled collection must not poison the memo: the next request with a
+// live context retries and succeeds.
+func TestSeriesRetriesAfterCancelledCollection(t *testing.T) {
+	svc := newTestService(t, Config{})
+	w, err := workloads.Lookup("genome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.ByName("Haswell")
+	dead, cancel := context.WithCancel(bg)
+	cancel()
+	if _, _, err := svc.Series(dead, w, m, 3, 0.05); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled collection = %v, want context.Canceled", err)
+	}
+	if _, _, err := svc.Series(bg, w, m, 3, 0.05); err != nil {
+		t.Fatalf("retry after cancellation failed: %v", err)
+	}
+}
+
+// A shared in-flight collection must survive one waiter's cancellation:
+// the cancelled requester gets context.Canceled immediately, the other
+// requester still gets the series.
+func TestSharedCollectionSurvivesOneWaitersCancellation(t *testing.T) {
+	release := make(chan struct{})
+	var startedOnce sync.Once
+	started := make(chan struct{})
+	slow := func(w sim.Workload, m *machine.Config, cores int, scale float64) (counters.Sample, error) {
+		startedOnce.Do(func() { close(started) })
+		<-release
+		return sim.Collect(w, m, cores, scale)
+	}
+	svc := newTestService(t, Config{CollectSample: slow, Workers: 4})
+	w, err := workloads.Lookup("genome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.ByName("Haswell")
+
+	ctxA, cancelA := context.WithCancel(bg)
+	resA := make(chan error, 1)
+	go func() {
+		_, _, err := svc.Series(ctxA, w, m, 2, 0.05)
+		resA <- err
+	}()
+	<-started
+	type res struct {
+		series *counters.Series
+		err    error
+	}
+	resB := make(chan res, 1)
+	go func() {
+		s, _, err := svc.Series(bg, w, m, 2, 0.05)
+		resB <- res{s, err}
+	}()
+	time.Sleep(20 * time.Millisecond) // let B join the in-flight entry
+	cancelA()
+	if err := <-resA; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v, want context.Canceled", err)
+	}
+	close(release)
+	b := <-resB
+	if b.err != nil {
+		t.Fatalf("surviving waiter failed: %v", b.err)
+	}
+	if b.series == nil || len(b.series.Samples) != 2 {
+		t.Errorf("surviving waiter got series %+v", b.series)
+	}
+}
+
+// One pathological cell must not sink the sweep matrix.
+func TestSweepIsolatesCellFailures(t *testing.T) {
+	failing := func(w sim.Workload, m *machine.Config, cores int, scale float64) (counters.Sample, error) {
+		if w.Name() == "genome" {
+			return counters.Sample{}, errors.New("synthetic genome failure")
+		}
+		return sim.Collect(w, m, cores, scale)
+	}
+	svc := newTestService(t, Config{CollectSample: failing})
+	resp, err := svc.Sweep(bg, SweepRequest{
+		Workloads: []string{"intruder", "genome"},
+		Machines:  []string{"Haswell"},
+		Scale:     0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Failures != 1 || len(resp.Cells) != 2 {
+		t.Fatalf("failures=%d cells=%d, want 1/2", resp.Failures, len(resp.Cells))
+	}
+	if resp.Cells[0].Error != "" || resp.Cells[0].TimeFull <= 0 {
+		t.Errorf("healthy cell suffered: %+v", resp.Cells[0])
+	}
+	if !strings.Contains(resp.Cells[1].Error, "synthetic genome failure") {
+		t.Errorf("failing cell error = %q", resp.Cells[1].Error)
+	}
+}

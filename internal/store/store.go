@@ -12,6 +12,7 @@
 package store
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -91,9 +92,11 @@ func (st *Store) path(k Key) string {
 
 // Get returns the cached series for the key, or (nil, false) on a miss.
 // Unreadable, corrupted or key-mismatched files count as misses; the bad
-// file is removed best-effort so the next Put can replace it cleanly.
-func (st *Store) Get(k Key) (*counters.Series, bool) {
-	if st == nil {
+// file is removed best-effort so the next Put can replace it cleanly. A
+// cancelled ctx also reads as a miss — GetOrCollect turns it into the
+// context's error before any collection starts.
+func (st *Store) Get(ctx context.Context, k Key) (*counters.Series, bool) {
+	if st == nil || ctx.Err() != nil {
 		return nil, false
 	}
 	path := st.path(k)
@@ -200,12 +203,15 @@ func (st *Store) Prune(keepNewest int) (int, error) {
 // GetOrCollect returns the cached series for the key, or runs collect and
 // caches its result. hit reports whether the series came from the cache.
 // Cache write failures are not fatal: the freshly collected series is still
-// returned.
-func (st *Store) GetOrCollect(k Key, collect func() (*counters.Series, error)) (s *counters.Series, hit bool, err error) {
-	if s, ok := st.Get(k); ok {
+// returned. A done ctx short-circuits before any read or collection.
+func (st *Store) GetOrCollect(ctx context.Context, k Key, collect func(context.Context) (*counters.Series, error)) (s *counters.Series, hit bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	if s, ok := st.Get(ctx, k); ok {
 		return s, true, nil
 	}
-	s, err = collect()
+	s, err = collect(ctx)
 	if err != nil {
 		return nil, false, err
 	}

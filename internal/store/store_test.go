@@ -1,6 +1,8 @@
 package store
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -9,6 +11,10 @@ import (
 
 	"repro/internal/counters"
 )
+
+// ctx is the background context shared by tests that don't exercise
+// cancellation.
+var ctx = context.Background()
 
 func sampleSeries(workload string, cores int) *counters.Series {
 	s := &counters.Series{Workload: workload, Machine: "Opteron"}
@@ -32,14 +38,14 @@ func TestStoreHitMissRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := testKey("intruder")
-	if _, ok := st.Get(k); ok {
+	if _, ok := st.Get(ctx, k); ok {
 		t.Fatal("empty store should miss")
 	}
 	want := sampleSeries("intruder", 4)
 	if err := st.Put(k, want); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := st.Get(k)
+	got, ok := st.Get(ctx, k)
 	if !ok {
 		t.Fatal("put then get should hit")
 	}
@@ -49,7 +55,7 @@ func TestStoreHitMissRoundTrip(t *testing.T) {
 	// A different key (same workload, different scale) is a distinct entry.
 	other := k
 	other.Scale = 1
-	if _, ok := st.Get(other); ok {
+	if _, ok := st.Get(ctx, other); ok {
 		t.Error("different scale should miss")
 	}
 }
@@ -90,7 +96,7 @@ func TestStoreCorruptedFileFallsBackToCollection(t *testing.T) {
 	if err := os.WriteFile(path, []byte(`{"key": {"workload": "ya`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := st.Get(k); ok {
+	if _, ok := st.Get(ctx, k); ok {
 		t.Fatal("corrupted entry should read as a miss")
 	}
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
@@ -98,14 +104,14 @@ func TestStoreCorruptedFileFallsBackToCollection(t *testing.T) {
 	}
 	// GetOrCollect re-collects and repopulates instead of erroring.
 	collected := 0
-	got, hit, err := st.GetOrCollect(k, func() (*counters.Series, error) {
+	got, hit, err := st.GetOrCollect(ctx, k, func(context.Context) (*counters.Series, error) {
 		collected++
 		return sampleSeries("yada", 4), nil
 	})
 	if err != nil || hit || collected != 1 || got == nil {
 		t.Fatalf("after corruption: got=%v hit=%v collected=%d err=%v", got != nil, hit, collected, err)
 	}
-	if _, ok := st.Get(k); !ok {
+	if _, ok := st.Get(ctx, k); !ok {
 		t.Error("re-collection should have repopulated the cache")
 	}
 }
@@ -126,7 +132,7 @@ func TestStoreRejectsKeyMismatch(t *testing.T) {
 		filepath.Join(st.Dir(), other.Hash()+".json")); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := st.Get(other); ok {
+	if _, ok := st.Get(ctx, other); ok {
 		t.Error("entry with mismatched embedded key should miss")
 	}
 }
@@ -138,15 +144,15 @@ func TestGetOrCollectWarmCache(t *testing.T) {
 	}
 	k := testKey("vacation-low")
 	calls := 0
-	collect := func() (*counters.Series, error) {
+	collect := func(context.Context) (*counters.Series, error) {
 		calls++
 		return sampleSeries("vacation-low", 4), nil
 	}
-	first, hit, err := st.GetOrCollect(k, collect)
+	first, hit, err := st.GetOrCollect(ctx, k, collect)
 	if err != nil || hit {
 		t.Fatalf("cold: hit=%v err=%v", hit, err)
 	}
-	second, hit, err := st.GetOrCollect(k, collect)
+	second, hit, err := st.GetOrCollect(ctx, k, collect)
 	if err != nil || !hit {
 		t.Fatalf("warm: hit=%v err=%v", hit, err)
 	}
@@ -191,10 +197,10 @@ func TestStoreDeleteAndPrune(t *testing.T) {
 		t.Fatalf("Prune: removed=%d err=%v", removed, err)
 	}
 	// The newest entry (c) survives.
-	if _, ok := st.Get(keys[2]); !ok {
+	if _, ok := st.Get(ctx, keys[2]); !ok {
 		t.Error("prune evicted the newest entry")
 	}
-	if _, ok := st.Get(keys[0]); ok {
+	if _, ok := st.Get(ctx, keys[0]); ok {
 		t.Error("prune kept the oldest entry")
 	}
 }
@@ -202,7 +208,7 @@ func TestStoreDeleteAndPrune(t *testing.T) {
 func TestNilStoreIsAlwaysMiss(t *testing.T) {
 	var st *Store
 	k := testKey("nil")
-	if _, ok := st.Get(k); ok {
+	if _, ok := st.Get(ctx, k); ok {
 		t.Error("nil store should miss")
 	}
 	if err := st.Put(k, sampleSeries("nil", 1)); err != nil {
@@ -215,11 +221,40 @@ func TestNilStoreIsAlwaysMiss(t *testing.T) {
 		t.Error("nil store should be empty")
 	}
 	calls := 0
-	_, hit, err := st.GetOrCollect(k, func() (*counters.Series, error) {
+	_, hit, err := st.GetOrCollect(ctx, k, func(context.Context) (*counters.Series, error) {
 		calls++
 		return sampleSeries("nil", 1), nil
 	})
 	if err != nil || hit || calls != 1 {
 		t.Errorf("nil store GetOrCollect: hit=%v calls=%d err=%v", hit, calls, err)
+	}
+}
+
+// A cancelled context must stop GetOrCollect before it reads the cache or
+// invokes the collector.
+func TestGetOrCollectHonorsContext(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("cancelled")
+	if err := st.Put(k, sampleSeries("cancelled", 2)); err != nil {
+		t.Fatal(err)
+	}
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok := st.Get(done, k); ok {
+		t.Error("cancelled Get should miss")
+	}
+	_, hit, err := st.GetOrCollect(done, k, func(context.Context) (*counters.Series, error) {
+		t.Error("collector must not run under a cancelled context")
+		return nil, nil
+	})
+	if hit || !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled GetOrCollect: hit=%v err=%v, want context.Canceled", hit, err)
+	}
+	// The entry is still there for a live context.
+	if _, ok := st.Get(ctx, k); !ok {
+		t.Error("entry should survive a cancelled read")
 	}
 }

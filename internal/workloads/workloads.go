@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/names"
 	"repro/internal/sim"
 )
 
@@ -32,8 +33,21 @@ func register(w sim.Workload) {
 }
 
 // ByName returns the workload with the given name, or nil.
+//
+// Deprecated: use Lookup, which can never be nil-dereferenced and attaches a
+// closest-match suggestion to the error. ByName remains for callers that
+// genuinely want "registered or not" as a boolean-shaped answer.
 func ByName(name string) sim.Workload {
 	return registry[name]
+}
+
+// Lookup returns the workload with the given name, or an error naming the
+// closest registered workload when the name looks like a typo.
+func Lookup(name string) (sim.Workload, error) {
+	if w, ok := registry[name]; ok {
+		return w, nil
+	}
+	return nil, fmt.Errorf("unknown workload %q%s", name, names.Suggestion(name, order))
 }
 
 // Names returns all registered workload names in registration order.
