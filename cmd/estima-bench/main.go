@@ -5,6 +5,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/service"
 )
 
 func main() {
@@ -23,11 +25,22 @@ func main() {
 	outDir := flag.String("out", "", "directory to write per-experiment .txt files (optional)")
 	cacheDir := flag.String("cache", "", "measurement store directory, reused across runs")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	sweepBench := flag.Bool("sweepbench", false,
+		"measure a cold vs warm prediction sweep through the planner and write BENCH_sweep.json (to -out, or the working directory)")
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Printf("%-22s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+	if *sweepBench {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := runSweepBench(ctx, *scale, *cacheDir, *outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "estima-bench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -65,4 +78,93 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// sweepBenchJSON is the BENCH_sweep.json schema: the planner's cold/warm
+// cost model on one representative matrix — wall time and fit counts for a
+// cold sweep (every distinct cell collects and fits) and the identical warm
+// re-sweep (every cell answered from the fitted-model memo).
+type sweepBenchJSON struct {
+	Workloads int `json:"workloads"`
+	Machines  int `json:"machines"`
+	Cells     int `json:"cells"`
+	// Failures counts cells whose prediction legitimately fails (the fit
+	// finds no valid approximation). Failed fits are never memoized — a
+	// transient failure must not poison the cache — so each failing cell
+	// refits once per sweep: WarmFits == Failures on a healthy run.
+	Failures       int     `json:"failures"`
+	Scale          float64 `json:"scale"`
+	DistinctSeries int     `json:"distinct_series"`
+	DistinctFits   int     `json:"distinct_fits"`
+	ColdSeconds    float64 `json:"cold_seconds"`
+	WarmSeconds    float64 `json:"warm_seconds"`
+	Speedup        float64 `json:"speedup"`
+	ColdFits       int64   `json:"cold_fits"`
+	WarmFits       int64   `json:"warm_fits"`
+	ColdMemoHits   int64   `json:"cold_memo_hits"`
+	WarmMemoHits   int64   `json:"warm_memo_hits"`
+}
+
+// runSweepBench runs the paper's Table 4 workload set over two machines
+// through one service, cold then warm, and writes the measurements as
+// BENCH_sweep.json (CI uploads it as an artifact).
+func runSweepBench(ctx context.Context, scale float64, cacheDir, outDir string) error {
+	svc, err := service.New(service.Config{CacheDir: cacheDir})
+	if err != nil {
+		return err
+	}
+	req := service.SweepRequest{Machines: []string{"Opteron", "Xeon20"}, Scale: scale}
+
+	run := func() (*service.SweepSummary, float64, error) {
+		start := time.Now()
+		sum, err := svc.SweepStream(ctx, req, func(service.SweepCell) error { return nil })
+		return sum, time.Since(start).Seconds(), err
+	}
+	sum, coldSec, err := run()
+	if err != nil {
+		return err
+	}
+	coldFits, coldHits := svc.FitCacheStats()
+	_, warmSec, err := run()
+	if err != nil {
+		return err
+	}
+	warmFits, warmHits := svc.FitCacheStats()
+
+	doc := sweepBenchJSON{
+		Workloads:      len(sum.Workloads),
+		Machines:       len(sum.Machines),
+		Cells:          sum.Cells,
+		Failures:       sum.Failures,
+		Scale:          scale,
+		DistinctSeries: sum.DistinctSeries,
+		DistinctFits:   sum.DistinctFits,
+		ColdSeconds:    coldSec,
+		WarmSeconds:    warmSec,
+		ColdFits:       coldFits,
+		WarmFits:       warmFits - coldFits,
+		ColdMemoHits:   coldHits,
+		WarmMemoHits:   warmHits - coldHits,
+	}
+	if warmSec > 0 {
+		doc.Speedup = coldSec / warmSec
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := outDir
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_sweep.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("sweep bench: %d cells cold %.2fs (%d fits) -> warm %.3fs (%d fits, %.0fx); wrote %s\n",
+		doc.Cells, doc.ColdSeconds, doc.ColdFits, doc.WarmSeconds, doc.WarmFits, doc.Speedup, path)
+	return nil
 }

@@ -37,6 +37,17 @@ var goldenCases = []struct {
 		return cmdSweep(bg, []string{"-w", "intruder,genome", "-m", "Haswell",
 			"-scale", "0.05", "-format", "csv", "-boot", "40"})
 	}},
+	{"sweep_ndjson.golden", func() error {
+		return cmdSweep(bg, []string{"-w", "intruder,genome", "-m", "Haswell",
+			"-scale", "0.05", "-format", "ndjson"})
+	}},
+	{"list.golden", func() error {
+		return cmdList(bg, nil)
+	}},
+	{"curve_intruder_haswell.golden", func() error {
+		return cmdCurve(bg, []string{"-w", "intruder", "-m", "Haswell",
+			"-cores", "1-4", "-scale", "0.05"})
+	}},
 }
 
 func TestGoldenOutputs(t *testing.T) {

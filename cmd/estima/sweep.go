@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"strings"
@@ -12,9 +13,12 @@ import (
 )
 
 // cmdSweep runs the full ESTIMA pipeline over every requested
-// workload × machine pair through the service's bounded worker pool:
-// measure on one processor (cached in -cache when set), extrapolate to the
-// full machine, and summarize the predictions as a table, CSV or JSON.
+// workload × machine pair through the service's sweep planner: measure on
+// one processor (cached in -cache when set), extrapolate to the full
+// machine, and summarize the predictions as a table, CSV or JSON — or
+// stream them as NDJSON, one line per finished cell in deterministic plan
+// order plus a final summary record (the same lines
+// POST /v1/sweep?stream=ndjson serves).
 func cmdSweep(ctx context.Context, args []string) error {
 	fs := newFlagSet("sweep")
 	wlSpec := fs.String("w", "", "comma-separated workloads (default: the paper's Table 4 set)")
@@ -23,7 +27,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 	scale := fs.Float64("scale", 1, "dataset scale factor")
 	soft := fs.Bool("soft", false, "use software stalled cycles")
 	workers := fs.Int("workers", 0, "worker pool size (default: NumCPU)")
-	format := fs.String("format", "table", "output format: table, csv or json")
+	format := fs.String("format", "table", "output format: table, csv, json or ndjson (streamed)")
 	cacheDir := fs.String("cache", "", "measurement store directory, reused across runs")
 	boot := fs.Int("boot", 0, "residual-bootstrap resamples for confidence bands (0 = off)")
 	ci := fs.Float64("ci", core.DefaultCILevel, "two-sided confidence level (%) of the -boot bands")
@@ -31,9 +35,9 @@ func cmdSweep(ctx context.Context, args []string) error {
 		return err
 	}
 	switch *format {
-	case "table", "csv", "json":
+	case "table", "csv", "json", "ndjson":
 	default:
-		return fmt.Errorf("unknown format %q (want table, csv or json)", *format)
+		return fmt.Errorf("unknown format %q (want table, csv, json or ndjson)", *format)
 	}
 	if *boot > 0 && (*ci <= 0 || *ci >= 100) {
 		return fmt.Errorf("-ci %g out of range (0, 100)", *ci)
@@ -57,6 +61,22 @@ func cmdSweep(ctx context.Context, args []string) error {
 	svc, err := service.New(service.Config{CacheDir: *cacheDir, Workers: *workers})
 	if err != nil {
 		return err
+	}
+	if *format == "ndjson" {
+		enc := json.NewEncoder(os.Stdout)
+		sum, err := svc.SweepStream(ctx, req, func(c service.SweepCell) error {
+			return enc.Encode(service.SweepStreamLine{Cell: &c})
+		})
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(service.SweepStreamLine{Summary: sum}); err != nil {
+			return err
+		}
+		if sum.Failures > 0 {
+			return fmt.Errorf("%d of %d predictions failed", sum.Failures, sum.Cells)
+		}
+		return nil
 	}
 	resp, err := svc.Sweep(ctx, req)
 	if err != nil {

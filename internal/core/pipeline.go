@@ -350,12 +350,31 @@ func (pl *Pipeline) Times(ffit *fit.Fit, targets, stallsPerCore []float64) ([]fl
 	return out, nil
 }
 
-// Run composes the stages into a full prediction. When Options.Bootstrap
-// is set it additionally runs the residual-bootstrap stage, filling
-// TimeLo/TimeHi and the per-category stability scores. Cancelling ctx
-// stops the fitting and bootstrap worker pools promptly and returns
-// ctx.Err().
-func (pl *Pipeline) Run(ctx context.Context, series *counters.Series, targetCores []int) (*Prediction, error) {
+// FitArtifact is the fitted-model half of a prediction: everything the
+// expensive stages produce — the per-category extrapolation fits of step B,
+// their combined stalls per core, and step C's selected scaling-factor fit —
+// bound to the series and normalized targets they were fitted on. The
+// artifact is the unit the sweep planner memoizes: Finish turns it into a
+// Prediction without re-running any fit search, so repeated sweeps over the
+// same (series, options, targets) input pay the fitting cost once.
+// A FitArtifact is immutable after Fit returns and safe to share.
+type FitArtifact struct {
+	// Series is the measured input the fits were selected on.
+	Series *counters.Series
+	// Targets are the normalized target core counts (see Targets).
+	Targets []float64
+	// Extrapolation is step B's output over Targets.
+	Extrapolation *Extrapolation
+	// StallsPerCore is Combine's total over Targets.
+	StallsPerCore []float64
+	// FactorFit is the scaling-factor function selected by correlation.
+	FactorFit *fit.Fit
+}
+
+// Fit runs the expensive fitting stages — Extrapolate, Combine and
+// SelectFactor — and returns their result as a reusable artifact. Cancelling
+// ctx aborts the fitting worker pool and returns ctx.Err().
+func (pl *Pipeline) Fit(ctx context.Context, series *counters.Series, targetCores []int) (*FitArtifact, error) {
 	if err := pl.opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -375,25 +394,51 @@ func (pl *Pipeline) Run(ctx context.Context, series *counters.Series, targetCore
 	if err != nil {
 		return nil, err
 	}
-	times, err := pl.Times(ffit, targets, spc)
+	return &FitArtifact{
+		Series:        series,
+		Targets:       targets,
+		Extrapolation: ex,
+		StallsPerCore: spc,
+		FactorFit:     ffit,
+	}, nil
+}
+
+// Finish applies a fitted artifact: the factor and frequency ratio produce
+// the time predictions, and, when Options.Bootstrap is set, the
+// residual-bootstrap stage fills TimeLo/TimeHi and the stability scores.
+// The artifact is not modified; Finish may be called repeatedly.
+func (pl *Pipeline) Finish(ctx context.Context, art *FitArtifact) (*Prediction, error) {
+	times, err := pl.Times(art.FactorFit, art.Targets, art.StallsPerCore)
 	if err != nil {
 		return nil, err
 	}
 	p := &Prediction{
-		Workload:       series.Workload,
-		MeasuredOn:     series.Machine,
-		MeasuredCores:  series.Cores(),
-		TargetCores:    targets,
-		CategoryFits:   ex.Fits,
-		CategoryValues: ex.Values,
-		StallsPerCore:  spc,
-		FactorFit:      ffit,
+		Workload:       art.Series.Workload,
+		MeasuredOn:     art.Series.Machine,
+		MeasuredCores:  art.Series.Cores(),
+		TargetCores:    art.Targets,
+		CategoryFits:   art.Extrapolation.Fits,
+		CategoryValues: art.Extrapolation.Values,
+		StallsPerCore:  art.StallsPerCore,
+		FactorFit:      art.FactorFit,
 		Time:           times,
 	}
 	if pl.opt.Bootstrap > 0 {
-		if err := pl.bootstrap(ctx, series, ex, p); err != nil {
+		if err := pl.bootstrap(ctx, art.Series, art.Extrapolation, p); err != nil {
 			return nil, err
 		}
 	}
 	return p, nil
+}
+
+// Run composes the stages into a full prediction: Fit (extrapolate, combine,
+// select the factor) then Finish (apply the factor; bootstrap when
+// configured). Cancelling ctx stops the fitting and bootstrap worker pools
+// promptly and returns ctx.Err().
+func (pl *Pipeline) Run(ctx context.Context, series *counters.Series, targetCores []int) (*Prediction, error) {
+	art, err := pl.Fit(ctx, series, targetCores)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Finish(ctx, art)
 }

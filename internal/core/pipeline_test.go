@@ -53,6 +53,45 @@ func TestPredictDeduplicatesTargets(t *testing.T) {
 	}
 }
 
+// Fit + Finish is the memoizable split the sweep planner relies on: the
+// artifact must capture everything, so finishing it (twice) reproduces Run
+// exactly — bootstrap bands included — without re-running any fit search.
+func TestFitArtifactFinishMatchesRun(t *testing.T) {
+	s := syntheticSeries(12)
+	opt := Options{Bootstrap: 30, Seed: 7}
+	pl := NewPipeline(opt)
+	art, err := pl.Fit(context.Background(), s, []int{16, 24, 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := pl.Finish(context.Background(), art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := pl.Finish(context.Background(), art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := pl.Run(context.Background(), s, []int{16, 24, 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string]*Prediction{"finish": first, "re-finish": again} {
+		if !reflect.DeepEqual(got.Time, direct.Time) {
+			t.Errorf("%s Time %v differs from Run %v", name, got.Time, direct.Time)
+		}
+		if !reflect.DeepEqual(got.TimeLo, direct.TimeLo) || !reflect.DeepEqual(got.TimeHi, direct.TimeHi) {
+			t.Errorf("%s bootstrap bands differ from Run", name)
+		}
+		if !reflect.DeepEqual(got.Stability, direct.Stability) {
+			t.Errorf("%s stability scores differ from Run", name)
+		}
+	}
+	if art.Series != s || len(art.Targets) != 3 || art.FactorFit == nil {
+		t.Errorf("artifact not fully populated: %+v", art)
+	}
+}
+
 // The staged pipeline must compose to exactly what Predict returns.
 func TestPipelineStagesComposeToPredict(t *testing.T) {
 	s := syntheticSeries(12)

@@ -53,7 +53,7 @@ func ablationAggregate(e *env) (*Result, error) {
 		measured := window(full, 12)
 		targets := coresFrom(12, 48)
 
-		fine, err := core.PredictContext(e.ctx, measured, targets, core.Options{UseSoftware: true})
+		fine, err := e.predict(name, m, 12, 1, targets, core.Options{UseSoftware: true})
 		if err != nil {
 			return nil, err
 		}
@@ -62,6 +62,9 @@ func ablationAggregate(e *env) (*Result, error) {
 			return nil, err
 		}
 
+		// The aggregate-counter ablation transforms the measured series, so
+		// it cannot ride the planner (the store has no identity for the
+		// synthetic series); it runs the pipeline directly.
 		agg, err := core.PredictContext(e.ctx, aggregateSeries(measured, true), targets, core.Options{})
 		if err != nil {
 			return nil, err
@@ -89,11 +92,10 @@ func ablationCheckpoints(e *env) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		measured := window(full, 12)
 		targets := coresFrom(12, 48)
 		row := []any{name}
 		for _, c := range []int{2, 4} {
-			pred, err := core.PredictContext(e.ctx, measured, targets, core.Options{
+			pred, err := e.predict(name, m, 12, 1, targets, core.Options{
 				UseSoftware: usesSoftwareStalls(name), Checkpoints: c,
 			})
 			if err != nil {
@@ -131,11 +133,13 @@ func ablationKernels(e *env) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		measured := window(full, 12)
 		targets := coresFrom(12, 48)
 		row := []any{name}
 		for _, sub := range subsets {
-			pred, err := core.PredictContext(e.ctx, measured, targets, core.Options{
+			// A custom kernel library bypasses the planner's memo (kernels
+			// have no canonical fingerprint) but still shares the
+			// measurement layer and the service CPU gate.
+			pred, err := e.predict(name, m, 12, 1, targets, core.Options{
 				UseSoftware: usesSoftwareStalls(name), Kernels: sub.kernels,
 			})
 			if err != nil {

@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/counters"
 	"repro/internal/machine"
 	"repro/internal/service"
@@ -108,15 +109,14 @@ func Run(ctx context.Context, id string, cfg Config) (*Result, error) {
 // env carries one experiment run's context and its service client.
 // Measurement series come from an internal/service instance — memoized in
 // process, persisted through the store when the config names a CacheDir —
-// exactly as they do for the CLI and the HTTP daemon.
+// and predictions go through the same service's sweep planner, so runners
+// that revisit a scenario (table7 repeats table4's Xeon20 column; the
+// figures share the Opteron 12-core window) reuse fitted models instead of
+// refitting, exactly as the CLI and the HTTP daemon do.
 type env struct {
 	ctx context.Context
 	cfg Config
 	svc *service.Service
-	// sem bounds the CPU-bound prediction phases experiments fan out
-	// themselves (simulation concurrency is bounded inside the service by
-	// the same Workers count).
-	sem chan struct{}
 	// collect produces one measurement; tests stub it to observe (or deny)
 	// simulator invocations. Defaults to sim.Collect. It must be set before
 	// the first series call.
@@ -127,7 +127,6 @@ func newEnv(ctx context.Context, cfg Config) *env {
 	e := &env{
 		ctx:     ctx,
 		cfg:     cfg,
-		sem:     make(chan struct{}, cfg.Workers),
 		collect: sim.Collect,
 	}
 	svcCfg := service.Config{
@@ -160,6 +159,23 @@ func (e *env) series(workload string, m *machine.Config, maxCores int, dataScale
 	}
 	s, _, err := e.svc.Series(e.ctx, w, m, maxCores, e.cfg.Scale*dataScale)
 	return s, err
+}
+
+// predict runs one standard-scenario prediction through the service's sweep
+// planner: the 1..measCores window of workload on m (measured at the
+// experiment's base scale times dataScale, served from the series memo, a
+// prefix of an already collected longer series, or the store) is fitted
+// once per distinct (workload, machine, scale, targets, options) input and
+// the finished prediction memoized, so runners revisiting a scenario reuse
+// it. The service CPU gate bounds the fitting work, so runners fan rows out
+// freely without oversubscribing the machine.
+func (e *env) predict(workload string, m *machine.Config, measCores int, dataScale float64, targets []int, opt core.Options) (*core.Prediction, error) {
+	w, err := workloads.Lookup(workload)
+	if err != nil {
+		return nil, err
+	}
+	pred, _, err := e.svc.Predicted(e.ctx, w, m, measCores, e.cfg.Scale*dataScale, targets, opt)
+	return pred, err
 }
 
 // window returns the first maxCores samples of a series as a new series

@@ -87,9 +87,8 @@ func fig5(e *env) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	measured := window(full, 12)
 	targets := coresFrom(0, 48)
-	pred, err := core.PredictContext(e.ctx, measured, targets, core.Options{UseSoftware: true})
+	pred, err := e.predict("intruder", m, 12, 1, targets, core.Options{UseSoftware: true})
 	if err != nil {
 		return nil, err
 	}
@@ -132,7 +131,7 @@ func fig5(e *env) (*Result, error) {
 
 	ext := window(full, 48)
 	extTargets := coresFrom(12, 48)
-	predExt, err := core.PredictContext(e.ctx, measured, extTargets, core.Options{UseSoftware: true})
+	predExt, err := e.predict("intruder", m, 12, 1, extTargets, core.Options{UseSoftware: true})
 	if err != nil {
 		return nil, err
 	}
@@ -162,16 +161,12 @@ func fig6(e *env) (*Result, error) {
 		{"memcached", 3},
 		{"sqlite", 4},
 	} {
-		meas, err := e.series(c.name, desktop, c.measured, 1)
-		if err != nil {
-			return nil, err
-		}
 		act, err := e.series(c.name, server, server.NumCores(), 1)
 		if err != nil {
 			return nil, err
 		}
 		targets := coresFrom(0, server.NumCores())
-		pred, err := core.PredictContext(e.ctx, meas, targets, core.Options{FreqRatio: freqRatio})
+		pred, err := e.predict(c.name, desktop, c.measured, 1, targets, core.Options{FreqRatio: freqRatio})
 		if err != nil {
 			return nil, err
 		}

@@ -35,11 +35,10 @@ func fig13(e *env) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		measured := window(full, 12)
 		targets := coresFrom(12, 48)
 		row := []any{name}
 		for _, useSoft := range []bool{false, true} {
-			pred, err := core.PredictContext(e.ctx, measured, targets, core.Options{UseSoftware: useSoft})
+			pred, err := e.predict(name, m, 12, 1, targets, core.Options{UseSoftware: useSoft})
 			if err != nil {
 				return nil, err
 			}
@@ -105,9 +104,8 @@ func fig15(e *env) (*Result, error) {
 	var sb strings.Builder
 	var errs [2]float64
 	for i, measCores := range []int{12, 24} {
-		measured := window(full, measCores)
 		targets := coresFrom(measCores, 48)
-		pred, err := core.PredictContext(e.ctx, measured, targets, core.Options{UseSoftware: true})
+		pred, err := e.predict("streamcluster", m, measCores, 1, targets, core.Options{UseSoftware: true})
 		if err != nil {
 			return nil, err
 		}
@@ -147,9 +145,8 @@ func fig16(e *env) (*Result, error) {
 		}
 		sb.WriteString(fmt.Sprintf("%s on Xeon20:\n", name))
 		for _, measCores := range []int{10, 14} {
-			measured := window(full, measCores)
 			targets := coresFrom(measCores, m.NumCores())
-			pred, err := core.PredictContext(e.ctx, measured, targets, core.Options{UseSoftware: usesSoftwareStalls(name)})
+			pred, err := e.predict(name, m, measCores, 1, targets, core.Options{UseSoftware: usesSoftwareStalls(name)})
 			if err != nil {
 				return nil, err
 			}

@@ -18,15 +18,18 @@ func init() {
 	registerExp("table7", "Table 7: predictions targeting the Xeon48", table7)
 }
 
-// table4Row computes one benchmark's banded errors on one machine.
+// table4Row computes one benchmark's banded errors on one machine. The full
+// series (the comparison truth) is collected first, so the planner serves
+// the measurement window as its prefix; the prediction itself is memoized
+// and shared with any other runner of the same scenario (table7's first
+// column re-reports it).
 func table4Row(e *env, name string, m *machine.Config, measCores int, bands []core.ErrorBand) ([]core.ErrorBand, error) {
 	full, err := e.series(name, m, m.NumCores(), 1)
 	if err != nil {
 		return nil, err
 	}
-	measured := window(full, measCores)
 	targets := coresFrom(measCores, m.NumCores())
-	pred, err := core.PredictContext(e.ctx, measured, targets, core.Options{UseSoftware: usesSoftwareStalls(name)})
+	pred, err := e.predict(name, m, measCores, 1, targets, core.Options{UseSoftware: usesSoftwareStalls(name)})
 	if err != nil {
 		return nil, err
 	}
@@ -266,18 +269,13 @@ func table7(e *env) (*Result, error) {
 			}
 			rows[i].x20 = bands[0].MaxPctError
 			// Column 2: both Xeon20 sockets measured, Xeon48 targeted.
-			meas, err := e.series(name, x20, x20.NumCores(), 1)
-			if err != nil {
-				rows[i].err = err
-				return
-			}
 			act, err := e.series(name, x48, x48.NumCores(), 1)
 			if err != nil {
 				rows[i].err = err
 				return
 			}
 			targets := coresFrom(x20.NumCores(), x48.NumCores())
-			pred, err := core.PredictContext(e.ctx, meas, targets, core.Options{
+			pred, err := e.predict(name, x20, x20.NumCores(), 1, targets, core.Options{
 				UseSoftware: usesSoftwareStalls(name),
 				FreqRatio:   freqRatio,
 			})

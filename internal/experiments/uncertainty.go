@@ -49,18 +49,15 @@ func uncertainty(e *env) (*Result, error) {
 				rows[i].err = err
 				return
 			}
-			measured := window(full, 12)
 			targets := coresFrom(12, m.NumCores())
-			// The env's semaphore bounds the CPU-bound prediction phase the
-			// same way it bounds simulation; Workers: 1 keeps each
-			// prediction from opening a second NumCPU-wide pool inside it.
-			e.sem <- struct{}{}
-			pred, err := core.PredictContext(e.ctx, measured, targets, core.Options{
+			// The service CPU gate bounds the fitting and bootstrap work;
+			// Workers: 1 keeps each prediction from opening a second
+			// NumCPU-wide pool inside it.
+			pred, err := e.predict(name, m, 12, 1, targets, core.Options{
 				UseSoftware: usesSoftwareStalls(name),
 				Bootstrap:   uncertaintyBoot,
 				Workers:     1,
 			})
-			<-e.sem
 			if err != nil {
 				rows[i].err = err
 				return

@@ -188,6 +188,32 @@ type SweepResponse struct {
 	Failures   int         `json:"failures"`
 }
 
+// SweepSummary is the final record of a streaming sweep: the matrix shape,
+// the failure count, and the planner's decomposition — how many distinct
+// collect and fit steps the deduplicated plan actually contained (cells
+// beyond those counts shared a step with an earlier cell).
+type SweepSummary struct {
+	APIVersion string   `json:"api_version"`
+	Workloads  []string `json:"workloads"`
+	Machines   []string `json:"machines"`
+	Cells      int      `json:"cells"`
+	Failures   int      `json:"failures"`
+	// DistinctSeries counts the deduplicated collection steps of the plan;
+	// DistinctFits the deduplicated fit+predict steps.
+	DistinctSeries int `json:"distinct_series"`
+	DistinctFits   int `json:"distinct_fits"`
+}
+
+// SweepStreamLine is one NDJSON record of a streaming sweep
+// (POST /v1/sweep?stream=ndjson, or `estima sweep -format ndjson`): exactly
+// one of Cell (per finished cell, in deterministic plan order), Summary
+// (the final record) or Error (a failure after streaming began) is set.
+type SweepStreamLine struct {
+	Cell    *SweepCell    `json:"cell,omitempty"`
+	Summary *SweepSummary `json:"summary,omitempty"`
+	Error   string        `json:"error,omitempty"`
+}
+
 // CollectRequest asks for one measurement series: the workload on the
 // machine over the given core schedule.
 type CollectRequest struct {
@@ -263,8 +289,22 @@ type ListResponse struct {
 	Machines   []MachineInfo `json:"machines"`
 }
 
+// WorkloadsResponse is the GET /v1/workloads projection of ListResponse.
+type WorkloadsResponse struct {
+	APIVersion string   `json:"api_version"`
+	Workloads  []string `json:"workloads"`
+}
+
+// MachinesResponse is the GET /v1/machines projection of ListResponse.
+type MachinesResponse struct {
+	APIVersion string        `json:"api_version"`
+	Machines   []MachineInfo `json:"machines"`
+}
+
 // parseCores parses "1,2,4" / "1-12" / "all" core schedule specs against a
-// machine's core count.
+// machine's core count. Counts beyond the machine are rejected up front —
+// central validation, and a hostile "1-2000000000" range must not balloon
+// server memory before anything else looks at it.
 func parseCores(spec string, max int) ([]int, error) {
 	if spec == "" || spec == "all" {
 		return sim.CoreRange(max), nil
@@ -277,6 +317,9 @@ func parseCores(spec string, max int) ([]int, error) {
 			if err1 != nil || err2 != nil || l < 1 || h < l {
 				return nil, badRequest("bad core range %q", part)
 			}
+			if h > max {
+				return nil, badRequest("core range %q exceeds the machine's %d cores", part, max)
+			}
 			for c := l; c <= h; c++ {
 				out = append(out, c)
 			}
@@ -284,6 +327,9 @@ func parseCores(spec string, max int) ([]int, error) {
 			c, err := strconv.Atoi(part)
 			if err != nil || c < 1 {
 				return nil, badRequest("bad core count %q", part)
+			}
+			if c > max {
+				return nil, badRequest("core count %d exceeds the machine's %d cores", c, max)
 			}
 			out = append(out, c)
 		}

@@ -1,0 +1,90 @@
+package service
+
+import (
+	"testing"
+)
+
+// benchSweepRequest is a W×M matrix small enough to bench but large enough
+// to show the planner's shape: 3 workloads × 2 machines = 6 cells.
+func benchSweepRequest() SweepRequest {
+	return SweepRequest{
+		Workloads: []string{"intruder", "genome", "kmeans"},
+		Machines:  []string{"Haswell", "Xeon20"},
+		Scale:     0.05,
+	}
+}
+
+// BenchmarkSweepCold measures the full cost of a W×M sweep on a fresh
+// service: every cell collects and fits (W×M fits).
+func BenchmarkSweepCold(b *testing.B) {
+	req := benchSweepRequest()
+	for i := 0; i < b.N; i++ {
+		svc, err := New(Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := svc.Sweep(bg, req); err != nil {
+			b.Fatal(err)
+		}
+		fits, _ := svc.FitCacheStats()
+		b.ReportMetric(float64(fits), "fits/op")
+	}
+}
+
+// BenchmarkSweepWarm measures a repeated sweep on a warmed service: the
+// planner answers every cell from the fitted-model memo, so a warm W×M
+// sweep performs zero fits — the cold run's W×M fits amortize across every
+// later sweep, and growing the matrix by a row or column only pays for the
+// new cells (O(ΔW·M + W·ΔM), not O(W×M)).
+func BenchmarkSweepWarm(b *testing.B) {
+	req := benchSweepRequest()
+	svc, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := svc.Sweep(bg, req); err != nil {
+		b.Fatal(err) // warm the memo
+	}
+	cold, _ := svc.FitCacheStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Sweep(bg, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	after, _ := svc.FitCacheStats()
+	b.ReportMetric(float64(after-cold)/float64(b.N), "fits/op")
+	if after != cold {
+		b.Fatalf("warm sweeps refitted: %d fits before, %d after", cold, after)
+	}
+}
+
+// BenchmarkSweepIncremental measures extending a warm W×M sweep by one
+// workload row: only the new row's M cells fit.
+func BenchmarkSweepIncremental(b *testing.B) {
+	base := benchSweepRequest()
+	extended := benchSweepRequest()
+	extended.Workloads = append(extended.Workloads, "ssca2")
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		svc, err := New(Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := svc.Sweep(bg, base); err != nil {
+			b.Fatal(err)
+		}
+		warm, _ := svc.FitCacheStats()
+		b.StartTimer()
+		if _, err := svc.Sweep(bg, extended); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		after, _ := svc.FitCacheStats()
+		if delta := after - warm; delta != int64(len(extended.Machines)) {
+			b.Fatalf("extending by one workload ran %d fits, want %d", delta, len(extended.Machines))
+		}
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,227 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// encodeHTTPBody replicates writeJSON's encoding (two-space indent plus a
+// trailing newline), so in-process responses can be compared byte for byte
+// against HTTP bodies.
+func encodeHTTPBody(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// encodeNDJSONLines replicates the streaming encoder: one compact JSON
+// document per line.
+func encodeNDJSONLines(t *testing.T, lines []SweepStreamLine) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, l := range lines {
+		if err := enc.Encode(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// checkGolden compares got against testdata/<file>, rewriting it under
+// -update.
+func checkGolden(t *testing.T, file string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", file)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("body differs from golden %s.\n--- want\n%s\n--- got\n%s", file, want, got)
+	}
+}
+
+// TestServiceConformance is the anti-drift suite: every /v1/* endpoint is
+// executed twice — once through the in-process service.New path, once over
+// HTTP — and the two must answer byte-identical JSON bodies, which are also
+// pinned as goldens. Both paths share one Service, so memoized state
+// (series hit flags are recorded at collection, fitted models at first
+// computation) answers identically regardless of which path runs first.
+func TestServiceConformance(t *testing.T) {
+	svc := newTestService(t, Config{})
+	h := NewHandler(svc, ServerConfig{})
+
+	// list projects ListResponse exactly as the GET handlers do.
+	list := func(ctx context.Context) (*ListResponse, error) {
+		return svc.List(ctx, ListRequest{})
+	}
+	cases := []struct {
+		golden string
+		method string
+		path   string
+		body   string
+		call   func(ctx context.Context, body string) (any, error)
+	}{
+		{"workloads.json", http.MethodGet, "/v1/workloads", "",
+			func(ctx context.Context, _ string) (any, error) {
+				resp, err := list(ctx)
+				if err != nil {
+					return nil, err
+				}
+				return WorkloadsResponse{resp.APIVersion, resp.Workloads}, nil
+			}},
+		{"machines.json", http.MethodGet, "/v1/machines", "",
+			func(ctx context.Context, _ string) (any, error) {
+				resp, err := list(ctx)
+				if err != nil {
+					return nil, err
+				}
+				return MachinesResponse{resp.APIVersion, resp.Machines}, nil
+			}},
+		{"predict.json", http.MethodPost, "/v1/predict",
+			`{"api_version":"v1","workload":"intruder","machine":"Haswell","scale":0.05,"compare":true}`,
+			func(ctx context.Context, body string) (any, error) {
+				var req PredictRequest
+				if err := json.Unmarshal([]byte(body), &req); err != nil {
+					return nil, err
+				}
+				return svc.Predict(ctx, req)
+			}},
+		{"predict_boot.json", http.MethodPost, "/v1/predict",
+			`{"workload":"genome","machine":"Haswell","scale":0.05,"soft":true,"bootstrap":50}`,
+			func(ctx context.Context, body string) (any, error) {
+				var req PredictRequest
+				if err := json.Unmarshal([]byte(body), &req); err != nil {
+					return nil, err
+				}
+				return svc.Predict(ctx, req)
+			}},
+		{"sweep.json", http.MethodPost, "/v1/sweep",
+			`{"workloads":["intruder","genome"],"machines":["Haswell"],"scale":0.05}`,
+			func(ctx context.Context, body string) (any, error) {
+				var req SweepRequest
+				if err := json.Unmarshal([]byte(body), &req); err != nil {
+					return nil, err
+				}
+				return svc.Sweep(ctx, req)
+			}},
+		{"collect.json", http.MethodPost, "/v1/collect",
+			`{"workload":"intruder","machine":"Haswell","cores":"1-2","scale":0.05}`,
+			func(ctx context.Context, body string) (any, error) {
+				var req CollectRequest
+				if err := json.Unmarshal([]byte(body), &req); err != nil {
+					return nil, err
+				}
+				return svc.Collect(ctx, req)
+			}},
+		{"curve.json", http.MethodPost, "/v1/curve",
+			`{"workload":"intruder","machine":"Haswell","cores":"1-3","scale":0.05}`,
+			func(ctx context.Context, body string) (any, error) {
+				var req CurveRequest
+				if err := json.Unmarshal([]byte(body), &req); err != nil {
+					return nil, err
+				}
+				return svc.Curve(ctx, req)
+			}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.golden, func(t *testing.T) {
+			inProc, err := c.call(bg, c.body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := encodeHTTPBody(t, inProc)
+
+			status, httpBody := do(t, h, c.method, c.path, c.body)
+			if status != http.StatusOK {
+				t.Fatalf("status %d: %s", status, httpBody)
+			}
+			if !bytes.Equal(httpBody, want) {
+				t.Errorf("HTTP body differs from the in-process path.\n--- in-process\n%s\n--- http\n%s", want, httpBody)
+			}
+			checkGolden(t, c.golden, httpBody)
+		})
+	}
+}
+
+// TestSweepStreamConformance extends the suite to the NDJSON endpoint: the
+// in-process SweepStream lines and the HTTP ?stream=ndjson body must be
+// byte-identical, in plan order, with the summary as the final record.
+func TestSweepStreamConformance(t *testing.T) {
+	svc := newTestService(t, Config{})
+	h := NewHandler(svc, ServerConfig{})
+	body := `{"workloads":["intruder","genome"],"machines":["Haswell"],"scale":0.05}`
+
+	var req SweepRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	var lines []SweepStreamLine
+	sum, err := svc.SweepStream(bg, req, func(c SweepCell) error {
+		cell := c
+		lines = append(lines, SweepStreamLine{Cell: &cell})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines = append(lines, SweepStreamLine{Summary: sum})
+	want := encodeNDJSONLines(t, lines)
+
+	status, httpBody := do(t, h, http.MethodPost, "/v1/sweep?stream=ndjson", body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, httpBody)
+	}
+	if !bytes.Equal(httpBody, want) {
+		t.Errorf("streamed HTTP body differs from the in-process stream.\n--- in-process\n%s\n--- http\n%s", want, httpBody)
+	}
+	checkGolden(t, "sweep_stream.ndjson", httpBody)
+}
+
+// TestSweepStreamHTTPValidation pins the streaming endpoint's error
+// behaviour: validation failures answer a status code (the header is
+// written lazily), and unknown stream formats are rejected.
+func TestSweepStreamHTTPValidation(t *testing.T) {
+	h := newTestHandler(t, ServerConfig{})
+	cases := []struct {
+		name   string
+		path   string
+		body   string
+		status int
+	}{
+		{"unknown stream format", "/v1/sweep?stream=csv", `{}`, http.StatusBadRequest},
+		{"bad json", "/v1/sweep?stream=ndjson", `{`, http.StatusBadRequest},
+		{"unknown workload", "/v1/sweep?stream=ndjson", `{"workloads":["nope"]}`, http.StatusBadRequest},
+		{"bad version", "/v1/sweep?stream=ndjson", `{"api_version":"v9"}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			status, body := do(t, h, http.MethodPost, c.path, c.body)
+			if status != c.status {
+				t.Errorf("status = %d, want %d (%s)", status, c.status, body)
+			}
+			if !json.Valid(bytes.TrimSpace(body)) {
+				t.Errorf("error body is not JSON: %s", body)
+			}
+		})
+	}
+}

@@ -1,0 +1,82 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeRequest pins the request-decoding contract of the HTTP layer
+// (mirroring counters' FuzzDecodeSeries): the strict decoder behind every
+// POST /v1/* endpoint must never panic on malformed bytes, anything it
+// accepts must re-encode, and the cheap validation helpers (version check,
+// core-schedule parsing) must be total over accepted requests.
+func FuzzDecodeRequest(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`null`,
+		`{"api_version":"v1","workload":"intruder","machine":"Haswell","scale":0.05,"compare":true}`,
+		`{"workload":"genome","machine":"Haswell","scale":0.05,"soft":true,"bootstrap":50,"ci_level":90}`,
+		`{"workloads":["intruder","genome"],"machines":["Haswell"],"scale":0.05,"workers":3}`,
+		`{"workload":"intruder","machine":"Haswell","cores":"1-2","scale":0.05}`,
+		`{"workload":"intruder","machine":"Haswell","cores":"1,2,4,8"}`,
+		`{"workload":"intruder","machine":"Haswell","cores":"all"}`,
+		`{"cores":"0-4"}`,
+		`{"cores":"-"}`,
+		`{"cores":"1-"}`,
+		`{"cores":"9999999999999999999999"}`,
+		`{"api_version":"v9"}`,
+		`{"series":{"version":1,"workload":"w","machine":"m"}}`,
+		`{"series":"not an object"}`,
+		`{"bootstrap":-1,"ci_level":1e308}`,
+		`{"wrkload":"typo"}`,
+		`{"workload":"intruder","machine":"Haswell"}   trailing`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// decode mirrors handleJSON: strict field checking, one document.
+		decode := func(into any) error {
+			dec := json.NewDecoder(bytes.NewReader(data))
+			dec.DisallowUnknownFields()
+			return dec.Decode(into)
+		}
+
+		var pr PredictRequest
+		if err := decode(&pr); err == nil {
+			checkVersion(pr.APIVersion)
+			if _, err := json.Marshal(pr); err != nil {
+				t.Fatalf("accepted PredictRequest does not re-encode: %v", err)
+			}
+		}
+		var sr SweepRequest
+		if err := decode(&sr); err == nil {
+			checkVersion(sr.APIVersion)
+			if _, err := json.Marshal(sr); err != nil {
+				t.Fatalf("accepted SweepRequest does not re-encode: %v", err)
+			}
+		}
+		var cr CollectRequest
+		if err := decode(&cr); err == nil {
+			checkVersion(cr.APIVersion)
+			if cores, err := parseCores(cr.Cores, 48); err == nil {
+				for _, c := range cores {
+					if c < 1 {
+						t.Fatalf("parseCores(%q) accepted core count %d", cr.Cores, c)
+					}
+				}
+			}
+			if _, err := json.Marshal(cr); err != nil {
+				t.Fatalf("accepted CollectRequest does not re-encode: %v", err)
+			}
+		}
+		var cv CurveRequest
+		if err := decode(&cv); err == nil {
+			checkVersion(cv.APIVersion)
+			parseCores(cv.Cores, 48)
+		}
+	})
+}

@@ -55,12 +55,14 @@ type errorJSON struct {
 
 // NewHandler wraps a Service in the HTTP/JSON API:
 //
-//	POST /v1/predict    PredictRequest  → PredictResponse
-//	POST /v1/sweep      SweepRequest    → SweepResponse
-//	POST /v1/collect    CollectRequest  → CollectResponse
-//	GET  /v1/workloads                  → ListResponse (workloads only)
-//	GET  /v1/machines                   → ListResponse (machines only)
-//	GET  /healthz                       → liveness + in-flight gauge
+//	POST /v1/predict              PredictRequest  → PredictResponse
+//	POST /v1/sweep                SweepRequest    → SweepResponse
+//	POST /v1/sweep?stream=ndjson  SweepRequest    → NDJSON SweepStreamLines
+//	POST /v1/collect              CollectRequest  → CollectResponse
+//	POST /v1/curve                CurveRequest    → CurveResponse
+//	GET  /v1/workloads                            → WorkloadsResponse
+//	GET  /v1/machines                             → MachinesResponse
+//	GET  /healthz                                 → liveness + in-flight gauge
 //
 // Every /v1/* request runs under the in-flight limiter and the request's
 // context, so a disconnecting client cancels its pipeline workers.
@@ -80,18 +82,16 @@ func NewHandler(svc *Service, cfg ServerConfig) http.Handler {
 		})
 	})
 	mux.Handle("POST /v1/predict", limited(lim, handleJSON(svc.Predict)))
-	mux.Handle("POST /v1/sweep", limited(lim, handleJSON(svc.Sweep)))
+	mux.Handle("POST /v1/sweep", limited(lim, sweepHandler(svc)))
 	mux.Handle("POST /v1/collect", limited(lim, handleJSON(svc.Collect)))
+	mux.Handle("POST /v1/curve", limited(lim, handleJSON(svc.Curve)))
 	mux.Handle("GET /v1/workloads", limited(lim, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		resp, err := svc.List(r.Context(), ListRequest{})
 		if err != nil {
 			writeError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, struct {
-			APIVersion string   `json:"api_version"`
-			Workloads  []string `json:"workloads"`
-		}{resp.APIVersion, resp.Workloads})
+		writeJSON(w, http.StatusOK, WorkloadsResponse{resp.APIVersion, resp.Workloads})
 	})))
 	mux.Handle("GET /v1/machines", limited(lim, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		resp, err := svc.List(r.Context(), ListRequest{})
@@ -99,12 +99,67 @@ func NewHandler(svc *Service, cfg ServerConfig) http.Handler {
 			writeError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, struct {
-			APIVersion string        `json:"api_version"`
-			Machines   []MachineInfo `json:"machines"`
-		}{resp.APIVersion, resp.Machines})
+		writeJSON(w, http.StatusOK, MachinesResponse{resp.APIVersion, resp.Machines})
 	})))
 	return mux
+}
+
+// sweepHandler serves POST /v1/sweep. Without a stream parameter it is the
+// plain buffered request/response exchange; with ?stream=ndjson it streams
+// one SweepStreamLine per finished cell — in deterministic plan order, each
+// flushed as it completes — plus a final summary line, so a client watching
+// a long sweep sees cells as they land instead of one response at the end.
+func sweepHandler(svc *Service) http.Handler {
+	plain := handleJSON(svc.Sweep)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("stream") {
+		case "":
+			plain.ServeHTTP(w, r)
+			return
+		case "ndjson":
+		default:
+			writeJSON(w, http.StatusBadRequest,
+				errorJSON{Error: fmt.Sprintf("unknown stream format %q (want ndjson)", r.URL.Query().Get("stream"))})
+			return
+		}
+		req, ok := decodeRequest[SweepRequest](w, r)
+		if !ok {
+			return
+		}
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		streaming := false
+		writeLine := func(line SweepStreamLine) error {
+			if !streaming {
+				// The header is written lazily so a sweep that fails
+				// validation still answers a proper error status.
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				w.WriteHeader(http.StatusOK)
+				streaming = true
+			}
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		}
+		sum, err := svc.SweepStream(r.Context(), req, func(c SweepCell) error {
+			return writeLine(SweepStreamLine{Cell: &c})
+		})
+		if err != nil {
+			if !streaming {
+				writeError(w, err)
+				return
+			}
+			// Mid-stream there is no status code left to change; a final
+			// error line documents the truncation for the client.
+			writeLine(SweepStreamLine{Error: err.Error()})
+			return
+		}
+		writeLine(SweepStreamLine{Summary: sum})
+	})
 }
 
 // limited wraps a handler in the in-flight limiter.
@@ -127,16 +182,28 @@ func limited(lim *limiter, next http.Handler) http.Handler {
 // server memory.
 const maxBodyBytes = 8 << 20
 
+// decodeRequest strictly decodes a size-capped request body, answering 400
+// itself on failure (ok reports success). Every /v1/* endpoint — buffered
+// and streaming alike — decodes through it, so the strict-decoding contract
+// cannot drift between endpoints.
+func decodeRequest[Req any](w http.ResponseWriter, r *http.Request) (Req, bool) {
+	var req Req
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("decoding request: %v", err)})
+		return req, false
+	}
+	return req, true
+}
+
 // handleJSON adapts one typed service method to HTTP: decode the
 // size-capped request body strictly, execute under the request context,
 // encode the response.
 func handleJSON[Req any, Resp any](fn func(context.Context, Req) (*Resp, error)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		var req Req
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("decoding request: %v", err)})
+		req, ok := decodeRequest[Req](w, r)
+		if !ok {
 			return
 		}
 		resp, err := fn(r.Context(), req)

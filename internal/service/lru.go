@@ -1,0 +1,89 @@
+package service
+
+import "container/list"
+
+// lruCache is the bounded recency list under the planner's fitted-model
+// memo. It is a plain data structure: not safe for concurrent use (the
+// planner serializes access under its own mutex) and unaware of in-flight
+// entries — eviction policy beyond recency order is the caller's, via the
+// EvictOldest filter.
+type lruCache[V any] struct {
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+type lruItem[V any] struct {
+	key string
+	val V
+}
+
+// newLRUCache builds a cache that aims to hold at most capacity entries.
+// The bound is advisory: the cache itself never drops anything — the caller
+// evicts via EvictOldest while Len exceeds Cap.
+func newLRUCache[V any](capacity int) *lruCache[V] {
+	return &lruCache[V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    map[string]*list.Element{},
+	}
+}
+
+// Cap returns the advisory capacity.
+func (c *lruCache[V]) Cap() int { return c.capacity }
+
+// Len returns the number of cached entries.
+func (c *lruCache[V]) Len() int { return c.ll.Len() }
+
+// Get returns the entry for key and marks it most recently used.
+func (c *lruCache[V]) Get(key string) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(lruItem[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Peek returns the entry for key without touching recency.
+func (c *lruCache[V]) Peek(key string) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		return el.Value.(lruItem[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts (or replaces) the entry for key as most recently used.
+func (c *lruCache[V]) Put(key string, v V) {
+	if el, ok := c.items[key]; ok {
+		el.Value = lruItem[V]{key, v}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(lruItem[V]{key, v})
+}
+
+// Remove drops the entry for key, if present.
+func (c *lruCache[V]) Remove(key string) {
+	if el, ok := c.items[key]; ok {
+		delete(c.items, key)
+		c.ll.Remove(el)
+	}
+}
+
+// EvictOldest walks from the least recently used end and removes the first
+// entry the filter accepts, reporting whether anything was evicted. The
+// filter lets the planner skip entries that must survive (in-flight fits,
+// entries with waiters).
+func (c *lruCache[V]) EvictOldest(evictable func(V) bool) bool {
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		it := el.Value.(lruItem[V])
+		if evictable(it.val) {
+			delete(c.items, it.key)
+			c.ll.Remove(el)
+			return true
+		}
+	}
+	return false
+}

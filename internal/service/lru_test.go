@@ -1,0 +1,56 @@
+package service
+
+import "testing"
+
+func TestLRUCacheRecencyAndEviction(t *testing.T) {
+	c := newLRUCache[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	if c.Len() != 3 || c.Cap() != 2 {
+		t.Fatalf("len=%d cap=%d, want 3/2 (the bound is advisory)", c.Len(), c.Cap())
+	}
+
+	// "a" is the oldest; touching it via Get must protect it.
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d/%v", v, ok)
+	}
+	if !c.EvictOldest(func(int) bool { return true }) {
+		t.Fatal("eviction should succeed")
+	}
+	if _, ok := c.Peek("b"); ok {
+		t.Error("b was oldest after Get(a) and should have been evicted")
+	}
+	if _, ok := c.Peek("a"); !ok {
+		t.Error("recently used a must survive")
+	}
+
+	// Peek must not touch recency: "c" stays older than "a".
+	c.Peek("c")
+	if !c.EvictOldest(func(v int) bool { return v == 3 }) {
+		t.Error("c should be evictable")
+	}
+
+	// The filter can refuse everything.
+	if c.EvictOldest(func(int) bool { return false }) {
+		t.Error("nothing evictable, EvictOldest should report false")
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1", c.Len())
+	}
+
+	// Replacing a key keeps one entry and refreshes recency.
+	c.Put("x", 10)
+	c.Put("a", 100)
+	if v, _ := c.Get("a"); v != 100 {
+		t.Errorf("replaced a = %d, want 100", v)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len after replace = %d, want 2", c.Len())
+	}
+	c.Remove("a")
+	c.Remove("nope") // absent removal is a no-op
+	if _, ok := c.Get("a"); ok {
+		t.Error("removed key should miss")
+	}
+}

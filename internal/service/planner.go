@@ -1,0 +1,456 @@
+// Sweep planner: the layer between the Service facade and core.Pipeline
+// that turns a SweepRequest into a deduplicated DAG of
+// (collect → fit → predict) steps.
+//
+// Decomposition: every matrix cell becomes one planCell carrying its
+// series key (the collect step) and its artifact key (the fit+predict
+// step). Cells sharing a series key share one collection (the in-process
+// series memo is a singleflight), and cells sharing an artifact key share
+// one fit: the fitted-model memo below collapses concurrent duplicates and
+// retains finished artifacts in a bounded LRU, so a warm sweep performs
+// zero new fits per already-seen (workload, machine, options, targets)
+// input. Evicted artifacts are cheap to restore: their measurement series
+// persists in the store, and refitting costs far less than re-measuring.
+package service
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/workloads"
+)
+
+// DefaultFitCacheSize bounds the fitted-model memo when Config.FitCacheSize
+// is zero. An artifact is a few fitted functions plus the evaluated curves
+// — small next to the series it came from — so the default comfortably
+// covers the full workload × machine preset matrix at several option sets.
+const DefaultFitCacheSize = 256
+
+// fitEntry is one slot of the fitted-model memo. Like the series memo's
+// memoEntry, the computation runs detached from any single requester: the
+// entry is shared by every concurrent request for the same artifact, and
+// only the last waiter to give up cancels the work.
+type fitEntry struct {
+	// done is closed when the fit goroutine finishes; pred, seriesHit and
+	// err are immutable afterwards (happens-before via the close).
+	done chan struct{}
+	pred *core.Prediction
+	// seriesHit records whether the artifact's measurement series was
+	// replayed (store or memo) rather than simulated — the value every
+	// requester reports, so repeated requests answer identically.
+	seriesHit bool
+	err       error
+	// waiters and cancel are guarded by s.fitMu; the last waiter to abandon
+	// an unfinished fit cancels it.
+	waiters int
+	cancel  context.CancelFunc
+}
+
+// optionsFingerprint is the canonical form of every core.Options field that
+// can change a prediction. Workers and Gate are deliberately absent: they
+// are throughput knobs, never result knobs (results are worker-count
+// independent by construction). Zero values that the pipeline documents as
+// "use the default" are normalized to that default, so requests spelling
+// the default explicitly share artifacts with requests omitting it.
+// Options carrying a custom kernel library have no canonical form; callers
+// must bypass the memo for them (see predicted).
+func optionsFingerprint(opt core.Options) string {
+	freq := opt.FreqRatio
+	if freq <= 0 {
+		freq = 1
+	}
+	ds := opt.DatasetScale
+	if ds <= 0 {
+		ds = 1
+	}
+	ci, seed := 0.0, int64(0)
+	if opt.Bootstrap > 0 {
+		ci = opt.CILevel
+		if ci <= 0 || ci >= 100 {
+			ci = core.DefaultCILevel
+		}
+		seed = opt.Seed
+		if seed == 0 {
+			seed = 1
+		}
+	}
+	return fmt.Sprintf("soft=%t,fe=%t,chk=%d,freq=%g,ds=%g,boot=%d,ci=%g,seed=%d",
+		opt.UseSoftware, opt.IncludeFrontend, opt.Checkpoints, freq, ds,
+		opt.Bootstrap, ci, seed)
+}
+
+// artifactKey identifies one fitted-model artifact: the measurement
+// series' content address (the store key hash) plus the options
+// fingerprint and the prediction targets.
+func artifactKey(sk store.Key, targets []int, opt core.Options) string {
+	var b strings.Builder
+	b.WriteString(sk.Hash())
+	b.WriteString("|")
+	b.WriteString(optionsFingerprint(opt))
+	b.WriteString("|t=")
+	for i, t := range targets {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(t))
+	}
+	return b.String()
+}
+
+// FitCacheStats reports the planner's lifetime counters: how many fit
+// computations actually ran and how many requests were answered from the
+// fitted-model memo (completed entries and collapsed in-flight duplicates
+// alike). Benchmarks and tests read the deltas around a sweep.
+func (s *Service) FitCacheStats() (computed, memoHits int64) {
+	return s.fitsComputed.Load(), s.fitMemoHits.Load()
+}
+
+// Predicted is the planner's in-process entry point, shared by Predict,
+// every sweep cell and the experiment harness: measure (or replay) the
+// contiguous 1..measCores window of workload w on m at scale, then fit and
+// predict targets under opt — memoized in the fitted-model LRU, so repeated
+// requests for the same input skip both collection and fitting. hit reports
+// whether the measurement series was replayed rather than simulated.
+// Options carrying a custom kernel library bypass the memo (kernels have no
+// canonical fingerprint) but still share the measurement layer.
+func (s *Service) Predicted(ctx context.Context, w sim.Workload, m *machine.Config, measCores int, scale float64, targets []int, opt core.Options) (*core.Prediction, bool, error) {
+	return s.predicted(ctx, w, m, measCores, scale, targets, opt)
+}
+
+func (s *Service) predicted(ctx context.Context, w sim.Workload, m *machine.Config, measCores int, scale float64, targets []int, opt core.Options) (*core.Prediction, bool, error) {
+	if opt.Kernels != nil || s.fits == nil {
+		// Uncacheable options (or a disabled memo) still share the
+		// measurement layer and the service CPU gate.
+		ser, hit, err := s.series(ctx, w, m, measCores, scale)
+		if err != nil {
+			return nil, hit, err
+		}
+		opt.Gate = s.sem
+		pred, err := core.PredictContext(ctx, ser, targets, opt)
+		return pred, hit, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	key := artifactKey(seriesKey(w.Name(), m.Name, measCores, scale), targets, opt)
+
+	s.fitMu.Lock()
+	ent, ok := s.fits.Get(key)
+	if !ok {
+		// Detach the fit from the requester: it must survive this caller's
+		// cancellation for any concurrent duplicate's sake.
+		cctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+		ent = &fitEntry{done: make(chan struct{}), cancel: cancel}
+		s.fits.Put(key, ent)
+		s.evictFitsLocked()
+		hook := s.fitHook
+		go func() {
+			defer close(ent.done)
+			defer cancel()
+			s.fitsComputed.Add(1)
+			if hook != nil {
+				hook(key)
+			}
+			ser, hit, err := s.series(cctx, w, m, measCores, scale)
+			ent.seriesHit = hit
+			if err != nil {
+				ent.err = err
+				return
+			}
+			o := opt
+			o.Gate = s.sem
+			pl := core.NewPipeline(o)
+			art, err := pl.Fit(cctx, ser, targets)
+			if err != nil {
+				ent.err = err
+				return
+			}
+			ent.pred, ent.err = pl.Finish(cctx, art)
+		}()
+	} else {
+		s.fitMemoHits.Add(1)
+	}
+	ent.waiters++
+	s.fitMu.Unlock()
+
+	select {
+	case <-ent.done:
+		s.fitMu.Lock()
+		ent.waiters--
+		if ent.err != nil {
+			// A failed fit must not poison the memo: drop the entry so the
+			// next request retries.
+			if cur, ok := s.fits.Peek(key); ok && cur == ent {
+				s.fits.Remove(key)
+			}
+		}
+		s.fitMu.Unlock()
+		return ent.pred, ent.seriesHit, ent.err
+	case <-ctx.Done():
+		s.fitMu.Lock()
+		ent.waiters--
+		if ent.waiters == 0 {
+			select {
+			case <-ent.done: // finished anyway; keep the artifact cached
+			default:
+				ent.cancel()
+				if cur, ok := s.fits.Peek(key); ok && cur == ent {
+					s.fits.Remove(key)
+				}
+			}
+		}
+		s.fitMu.Unlock()
+		return nil, false, ctx.Err()
+	}
+}
+
+// evictFitsLocked (called under s.fitMu) drops completed, waiter-less
+// artifacts in least-recently-used order until the memo is back under its
+// bound. In-flight fits and entries with waiters are never evicted; if only
+// those remain the memo temporarily exceeds the bound.
+func (s *Service) evictFitsLocked() {
+	for s.fits.Len() > s.fits.Cap() {
+		ok := s.fits.EvictOldest(func(e *fitEntry) bool {
+			select {
+			case <-e.done:
+				return e.waiters == 0
+			default:
+				return false
+			}
+		})
+		if !ok {
+			return
+		}
+	}
+}
+
+// planCell is one cell of a decomposed sweep: the collect step is its
+// series key, the fit+predict step its artifact key.
+type planCell struct {
+	workload  string
+	w         sim.Workload
+	mach      *machine.Config
+	measCores int
+	scale     float64
+	targets   []int
+	opt       core.Options
+	seriesID  store.Key
+	fitID     string
+}
+
+// sweepPlan is a SweepRequest decomposed into deduplicated steps.
+type sweepPlan struct {
+	workloads    []string
+	machineNames []string
+	cells        []planCell
+	workers      int
+	// distinctSeries / distinctFits count the deduplicated collect and fit
+	// steps: cells beyond these counts ride along on a shared step.
+	distinctSeries int
+	distinctFits   int
+}
+
+// planSweep validates a SweepRequest and decomposes it into the cell DAG.
+// Validation order (version, bootstrap options, workloads, machines) is part
+// of the API surface: it decides which error a doubly bad request reports.
+func (s *Service) planSweep(req SweepRequest) (*sweepPlan, error) {
+	if err := checkVersion(req.APIVersion); err != nil {
+		return nil, err
+	}
+	if req.Bootstrap < 0 {
+		return nil, badRequest("negative bootstrap count %d", req.Bootstrap)
+	}
+	if req.CILevel != 0 && (req.CILevel <= 0 || req.CILevel >= 100) {
+		return nil, badRequest("confidence level %g%% outside (0, 100)", req.CILevel)
+	}
+	wls := req.Workloads
+	if len(wls) == 0 {
+		wls = workloads.Table4Names()
+	}
+	ws := make([]sim.Workload, len(wls))
+	for i, n := range wls {
+		w, err := workloads.Lookup(n)
+		if err != nil {
+			return nil, &BadRequestError{Err: err}
+		}
+		ws[i] = w
+	}
+	machs := machine.Presets()
+	if len(req.Machines) > 0 {
+		machs = nil
+		for _, n := range req.Machines {
+			m, err := machine.Lookup(n)
+			if err != nil {
+				return nil, &BadRequestError{Err: err}
+			}
+			machs = append(machs, m)
+		}
+	}
+	scale := defaultScale(req.Scale)
+
+	plan := &sweepPlan{workloads: wls}
+	for _, m := range machs {
+		plan.machineNames = append(plan.machineNames, m.Name)
+	}
+	seriesSeen := map[store.Key]bool{}
+	fitSeen := map[string]bool{}
+	for wi, wl := range wls {
+		for _, m := range machs {
+			measCores := req.MeasCores
+			if measCores <= 0 {
+				measCores = m.OneProcessorCores()
+			}
+			// Workers: 1 — parallelism lives at the cell level; letting every
+			// concurrent cell open its own NumCPU-wide fitting pool would
+			// oversubscribe the machine by workers × NumCPU. The service gate
+			// additionally bounds total fitting work across in-flight
+			// requests.
+			cell := planCell{
+				workload:  wl,
+				w:         ws[wi],
+				mach:      m,
+				measCores: measCores,
+				scale:     scale,
+				targets:   sim.CoreRange(m.NumCores()),
+				opt: core.Options{
+					UseSoftware: req.Soft,
+					Bootstrap:   req.Bootstrap,
+					CILevel:     req.CILevel,
+					Workers:     1,
+				},
+			}
+			cell.seriesID = seriesKey(wl, m.Name, measCores, scale)
+			cell.fitID = artifactKey(cell.seriesID, cell.targets, cell.opt)
+			if !seriesSeen[cell.seriesID] {
+				seriesSeen[cell.seriesID] = true
+				plan.distinctSeries++
+			}
+			if !fitSeen[cell.fitID] {
+				fitSeen[cell.fitID] = true
+				plan.distinctFits++
+			}
+			plan.cells = append(plan.cells, cell)
+		}
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+	if workers > len(plan.cells) {
+		workers = len(plan.cells)
+	}
+	plan.workers = workers
+	return plan, nil
+}
+
+// runPlanCell executes one cell through the planner. Failures are recorded
+// in the cell, never propagated: one pathological pair must not sink the
+// matrix.
+func (s *Service) runPlanCell(ctx context.Context, pc planCell) SweepCell {
+	cell := SweepCell{
+		Workload:    pc.workload,
+		Machine:     pc.mach.Name,
+		MeasCores:   pc.measCores,
+		TargetCores: pc.mach.NumCores(),
+	}
+	pred, hit, err := s.predicted(ctx, pc.w, pc.mach, pc.measCores, pc.scale, pc.targets, pc.opt)
+	cell.CacheHit = hit
+	if err != nil {
+		cell.Error = err.Error()
+		return cell
+	}
+	cell.Stop = pred.ScalingStop()
+	cell.TimeFull = pred.Time[len(pred.Time)-1]
+	if pred.TimeLo != nil {
+		cell.TimeLo = pred.TimeLo[len(pred.TimeLo)-1]
+		cell.TimeHi = pred.TimeHi[len(pred.TimeHi)-1]
+	}
+	return cell
+}
+
+// SweepStream answers a SweepRequest incrementally: emit is called once per
+// finished cell, strictly in plan order (workload-major, machine-minor) —
+// cells execute across the worker pool, but a cell is only emitted after
+// every earlier cell, so the stream is byte-deterministic — and the summary
+// of the whole matrix is returned at the end. An emit error aborts the
+// sweep and is returned. Sweep is this method buffered; the HTTP layer
+// streams it as NDJSON and the CLI as `-format ndjson`.
+func (s *Service) SweepStream(ctx context.Context, req SweepRequest, emit func(SweepCell) error) (*SweepSummary, error) {
+	plan, err := s.planSweep(req)
+	if err != nil {
+		return nil, err
+	}
+	n := len(plan.cells)
+	cells := make([]SweepCell, n)
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+
+	// cctx stops the dispatcher and drains the workers when the emitter
+	// gives up (client gone) or the sweep context dies.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < plan.workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				cells[idx] = s.runPlanCell(cctx, plan.cells[idx])
+				close(done[idx])
+			}
+		}()
+	}
+	go func() {
+		defer close(next)
+		for idx := range plan.cells {
+			select {
+			case next <- idx:
+			case <-cctx.Done():
+				return
+			}
+		}
+	}()
+
+	var emitErr error
+	for i := 0; i < n && emitErr == nil; i++ {
+		select {
+		case <-done[i]:
+			emitErr = emit(cells[i])
+		case <-cctx.Done():
+			emitErr = cctx.Err()
+		}
+	}
+	cancel()
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if emitErr != nil {
+		return nil, emitErr
+	}
+
+	sum := &SweepSummary{
+		APIVersion:     APIVersion,
+		Workloads:      plan.workloads,
+		Machines:       plan.machineNames,
+		Cells:          n,
+		DistinctSeries: plan.distinctSeries,
+		DistinctFits:   plan.distinctFits,
+	}
+	for _, c := range cells {
+		if c.Error != "" {
+			sum.Failures++
+		}
+	}
+	return sum, nil
+}

@@ -2,7 +2,6 @@ package service
 
 import (
 	"context"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/counters"
@@ -40,9 +39,10 @@ func (s *Service) Predict(ctx context.Context, req PredictRequest) (*PredictResp
 
 	resp := &PredictResponse{APIVersion: APIVersion, ScaleRecorded: true}
 	var (
-		w        sim.Workload    // nil when a replayed series names no registered workload
-		mm       *machine.Config // nil when a replayed series names no preset machine
-		measured *counters.Series
+		w         sim.Workload    // nil when a replayed series names no registered workload
+		mm        *machine.Config // nil when a replayed series names no preset machine
+		measured  *counters.Series
+		measCores int
 	)
 	if len(req.Series) > 0 {
 		var err error
@@ -68,19 +68,14 @@ func (s *Service) Predict(ctx context.Context, req PredictRequest) (*PredictResp
 		if w, mm, err = resolve(req.Workload, req.Machine); err != nil {
 			return nil, err
 		}
-		measCores := req.MeasCores
+		measCores = req.MeasCores
 		if measCores <= 0 {
 			measCores = mm.OneProcessorCores()
 		}
 		resp.Workload = w.Name()
 		resp.Machine = mm.Name
 		resp.MeasCores = measCores
-		if measured, resp.CacheHit, err = s.series(ctx, w, mm, measCores, scale); err != nil {
-			return nil, err
-		}
-		resp.StoreDir = s.store.Dir()
 	}
-	resp.Samples = len(measured.Samples)
 	resp.Scale = scale
 	resp.WorkloadKnown = w != nil
 	resp.MachineKnown = mm != nil
@@ -101,9 +96,25 @@ func (s *Service) Predict(ctx context.Context, req PredictRequest) (*PredictResp
 	}
 
 	targets := sim.CoreRange(tm.NumCores())
-	pred, err := core.PredictContext(ctx, measured, targets, opt)
-	if err != nil {
-		return nil, err
+	var pred *core.Prediction
+	if measured != nil {
+		// Replayed series have no store identity to key the planner's memo
+		// by; run the pipeline directly, sharing the service CPU gate.
+		var err error
+		if pred, err = core.PredictContext(ctx, measured, targets, opt); err != nil {
+			return nil, err
+		}
+		resp.Samples = len(measured.Samples)
+	} else {
+		// The simulate path goes through the sweep planner: the fitted
+		// model is memoized, so a repeated request — or a sweep cell over
+		// the same input — skips collection and fitting alike.
+		var err error
+		if pred, resp.CacheHit, err = s.predicted(ctx, w, mm, measCores, scale, targets, opt); err != nil {
+			return nil, err
+		}
+		resp.StoreDir = s.store.Dir()
+		resp.Samples = len(pred.MeasuredCores)
 	}
 	resp.CategoryFits = map[string]string{}
 	for cat, f := range pred.CategoryFits {
@@ -144,140 +155,25 @@ func (s *Service) Predict(ctx context.Context, req PredictRequest) (*PredictResp
 	return resp, nil
 }
 
-// Sweep answers a SweepRequest: the workload × machine matrix through a
-// bounded job-level worker pool. Cells land at their matrix index, so the
-// response order is the deterministic workload × machine order, not
-// completion order.
+// Sweep answers a SweepRequest: the workload × machine matrix, decomposed
+// by the sweep planner into deduplicated (collect → fit → predict) steps
+// and executed across a bounded worker pool. Cells land at their matrix
+// index, so the response order is the deterministic workload × machine
+// order, not completion order. Sweep is SweepStream buffered.
 func (s *Service) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
-	if err := checkVersion(req.APIVersion); err != nil {
-		return nil, err
-	}
-	if req.Bootstrap < 0 {
-		return nil, badRequest("negative bootstrap count %d", req.Bootstrap)
-	}
-	if req.CILevel != 0 && (req.CILevel <= 0 || req.CILevel >= 100) {
-		return nil, badRequest("confidence level %g%% outside (0, 100)", req.CILevel)
-	}
-	wls := req.Workloads
-	if len(wls) == 0 {
-		wls = workloads.Table4Names()
-	}
-	for _, n := range wls {
-		if _, err := workloads.Lookup(n); err != nil {
-			return nil, &BadRequestError{Err: err}
-		}
-	}
-	machs := machine.Presets()
-	if len(req.Machines) > 0 {
-		machs = nil
-		for _, n := range req.Machines {
-			m, err := machine.Lookup(n)
-			if err != nil {
-				return nil, &BadRequestError{Err: err}
-			}
-			machs = append(machs, m)
-		}
-	}
-	scale := defaultScale(req.Scale)
-	workers := req.Workers
-	if workers <= 0 {
-		workers = s.cfg.Workers
-	}
-
-	type job struct {
-		workload string
-		mach     *machine.Config
-	}
-	var jobs []job
-	for _, wl := range wls {
-		for _, m := range machs {
-			jobs = append(jobs, job{wl, m})
-		}
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-
-	resp := &SweepResponse{APIVersion: APIVersion, Workloads: wls}
-	for _, m := range machs {
-		resp.Machines = append(resp.Machines, m.Name)
-	}
-	resp.Cells = make([]SweepCell, len(jobs))
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range next {
-				resp.Cells[idx] = s.sweepCell(ctx, jobs[idx].workload, jobs[idx].mach,
-					req.MeasCores, scale, req.Soft, req.Bootstrap, req.CILevel)
-			}
-		}()
-	}
-dispatch:
-	for idx := range jobs {
-		select {
-		case next <- idx:
-		case <-ctx.Done():
-			break dispatch
-		}
-	}
-	close(next)
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	for _, c := range resp.Cells {
-		if c.Error != "" {
-			resp.Failures++
-		}
-	}
-	return resp, nil
-}
-
-// sweepCell measures (or replays) one workload on one machine's measurement
-// window and predicts the full machine. Failures are recorded in the cell,
-// never propagated: one pathological pair must not sink the matrix.
-func (s *Service) sweepCell(ctx context.Context, workload string, m *machine.Config,
-	measCores int, scale float64, soft bool, boot int, ci float64) SweepCell {
-
-	cell := SweepCell{Workload: workload, Machine: m.Name, TargetCores: m.NumCores()}
-	if measCores <= 0 {
-		measCores = m.OneProcessorCores()
-	}
-	cell.MeasCores = measCores
-	w, err := workloads.Lookup(workload)
-	if err != nil {
-		cell.Error = err.Error()
-		return cell
-	}
-	measured, hit, err := s.series(ctx, w, m, measCores, scale)
-	cell.CacheHit = hit
-	if err != nil {
-		cell.Error = err.Error()
-		return cell
-	}
-	// Workers: 1 — parallelism lives at the job level here; letting every
-	// concurrent job open its own NumCPU-wide fitting pool would
-	// oversubscribe the machine by workers × NumCPU. The service gate
-	// additionally bounds total fitting work across in-flight requests.
-	pred, err := core.PredictContext(ctx, measured, sim.CoreRange(m.NumCores()), core.Options{
-		UseSoftware: soft,
-		Bootstrap:   boot,
-		CILevel:     ci,
-		Workers:     1,
-		Gate:        s.sem,
+	var cells []SweepCell
+	sum, err := s.SweepStream(ctx, req, func(c SweepCell) error {
+		cells = append(cells, c)
+		return nil
 	})
 	if err != nil {
-		cell.Error = err.Error()
-		return cell
+		return nil, err
 	}
-	cell.Stop = pred.ScalingStop()
-	cell.TimeFull = pred.Time[len(pred.Time)-1]
-	if pred.TimeLo != nil {
-		cell.TimeLo = pred.TimeLo[len(pred.TimeLo)-1]
-		cell.TimeHi = pred.TimeHi[len(pred.TimeHi)-1]
-	}
-	return cell
+	return &SweepResponse{
+		APIVersion: APIVersion,
+		Workloads:  sum.Workloads,
+		Machines:   sum.Machines,
+		Cells:      cells,
+		Failures:   sum.Failures,
+	}, nil
 }

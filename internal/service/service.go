@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/counters"
 	"repro/internal/machine"
@@ -26,6 +27,12 @@ type Config struct {
 	// stub it; a future perf-based backend plugs in here). nil means
 	// sim.Collect.
 	CollectSample func(w sim.Workload, m *machine.Config, cores int, scale float64) (counters.Sample, error)
+	// FitCacheSize bounds the sweep planner's fitted-model memo (entries).
+	// 0 means DefaultFitCacheSize; a negative size disables the memo
+	// entirely (every prediction refits, as before the planner). Evicted
+	// artifacts cost one refit to restore — their measurement series stays
+	// in the store — so the bound trades memory for refit work only.
+	FitCacheSize int
 }
 
 // Service executes every versioned API request through one code path:
@@ -40,6 +47,18 @@ type Service struct {
 
 	mu   sync.Mutex
 	memo map[store.Key]*memoEntry
+
+	// fitMu guards the sweep planner's fitted-model memo (nil when
+	// disabled); see planner.go.
+	fitMu sync.Mutex
+	fits  *lruCache[*fitEntry]
+	// fitsComputed counts fit computations actually run; fitMemoHits counts
+	// requests answered from the memo instead.
+	fitsComputed atomic.Int64
+	fitMemoHits  atomic.Int64
+	// fitHook, when set (by tests, before first use), observes every fit
+	// computation as it starts.
+	fitHook func(artifactKey string)
 }
 
 // memoEntry is the in-process collection slot for one series key.
@@ -75,6 +94,13 @@ func New(cfg Config) (*Service, error) {
 		cfg:  cfg,
 		sem:  make(chan struct{}, cfg.Workers),
 		memo: map[store.Key]*memoEntry{},
+	}
+	if cfg.FitCacheSize >= 0 {
+		size := cfg.FitCacheSize
+		if size == 0 {
+			size = DefaultFitCacheSize
+		}
+		s.fits = newLRUCache[*fitEntry](size)
 	}
 	if cfg.CacheDir != "" {
 		st, err := store.Open(cfg.CacheDir)
@@ -127,6 +153,23 @@ func (s *Service) series(ctx context.Context, w sim.Workload, m *machine.Config,
 	ent, ok := s.memo[key]
 	if !ok {
 		s.evictLocked()
+		// Collection dedup, prefix case: a completed 1..N entry (N > K) of
+		// the same input contains this 1..K schedule — every sample is
+		// collected independently, so windowing it is byte-identical to
+		// collecting afresh. The derived entry inherits the parent's hit
+		// flag, exactly what a caller joining the parent would have seen.
+		// A parent that cannot actually be windowed (a corrupted store file
+		// can load fewer samples than its key claims) falls through to
+		// collection instead of memoizing a broken entry.
+		if parent := s.prefixLocked(key); parent != nil {
+			if win := windowSeries(parent.series, maxCores); win != nil {
+				ent = &memoEntry{done: closedChan, series: win, hit: parent.hit}
+				s.memo[key] = ent
+				s.mu.Unlock()
+				go s.store.Put(key, win) // best-effort, off the lock
+				return win, ent.hit, nil
+			}
+		}
 		// Detach the collection from the requester: it must survive this
 		// caller's cancellation for the other waiters' sake.
 		cctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
@@ -138,6 +181,16 @@ func (s *Service) series(ctx context.Context, w sim.Workload, m *machine.Config,
 			if cached, ok := s.store.Get(cctx, key); ok {
 				ent.series, ent.hit = cached, true
 				return
+			}
+			// The store may hold a longer series of the same input whose
+			// prefix is this schedule; windowing it replays measurements
+			// exactly like an exact hit would.
+			if parent, ok := s.store.FindPrefix(cctx, key); ok {
+				if win := windowSeries(parent, maxCores); win != nil {
+					ent.series, ent.hit = win, true
+					s.store.Put(key, win)
+					return
+				}
 			}
 			ent.series, ent.err = s.collect(cctx, w, m, sim.CoreRange(maxCores), scale)
 			if ent.err == nil {
@@ -174,6 +227,62 @@ func (s *Service) series(ctx context.Context, w sim.Workload, m *machine.Config,
 		}
 		s.mu.Unlock()
 		return nil, false, ctx.Err()
+	}
+}
+
+// closedChan is the pre-closed done channel of memo entries that are born
+// completed (prefix-derived series need no collection goroutine).
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// prefixLocked (called under s.mu) returns a completed, error-free memo
+// entry whose series contains key's 1..MaxCores schedule as a prefix, or
+// nil. Among several candidates the shortest wins, so the derived series —
+// and its inherited hit flag — never depend on map iteration order.
+func (s *Service) prefixLocked(key store.Key) *memoEntry {
+	var best *memoEntry
+	bestCores := 0
+	for k, ent := range s.memo {
+		if k.Workload != key.Workload || k.Machine != key.Machine ||
+			k.Scale != key.Scale || k.Engine != key.Engine || k.MaxCores <= key.MaxCores {
+			continue
+		}
+		select {
+		case <-ent.done:
+		default:
+			continue // still collecting
+		}
+		if ent.err != nil || ent.series == nil {
+			continue
+		}
+		if best == nil || k.MaxCores < bestCores {
+			best, bestCores = ent, k.MaxCores
+		}
+	}
+	return best
+}
+
+// windowSeries returns the 1..maxCores prefix of a longer series as a new
+// series, or nil when the parent does not actually start with that
+// contiguous schedule (a corrupted store entry must fall back to
+// collection). Samples are shared, never copied: series are immutable.
+func windowSeries(parent *counters.Series, maxCores int) *counters.Series {
+	if parent == nil || len(parent.Samples) < maxCores {
+		return nil
+	}
+	for i := 0; i < maxCores; i++ {
+		if parent.Samples[i].Cores != i+1 {
+			return nil
+		}
+	}
+	return &counters.Series{
+		Workload: parent.Workload,
+		Machine:  parent.Machine,
+		Scale:    parent.Scale,
+		Samples:  parent.Samples[:maxCores:maxCores],
 	}
 }
 

@@ -88,6 +88,10 @@ func TestRequestValidation(t *testing.T) {
 			_, err := svc.Collect(bg, CollectRequest{Workload: "intruder", Machine: "Haswell", Cores: "0-4"})
 			return err
 		}, "bad core range"},
+		{"collect cores beyond machine", func() error {
+			_, err := svc.Collect(bg, CollectRequest{Workload: "intruder", Machine: "Haswell", Cores: "1-2000000000"})
+			return err
+		}, "exceeds the machine's"},
 		{"curve bad cores", func() error {
 			_, err := svc.Curve(bg, CurveRequest{Workload: "intruder", Machine: "Haswell", Cores: "x"})
 			return err

@@ -12,6 +12,7 @@
 package store
 
 import (
+	"bufio"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -146,6 +147,85 @@ func (st *Store) Put(k Key, s *counters.Series) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil
+}
+
+// FindPrefix looks for a cached series that contains k's schedule as a
+// prefix: same workload, machine, scale and engine but a larger MaxCores.
+// Contiguous 1..N schedules are supersets of every shorter 1..K schedule and
+// each sample is collected independently, so windowing the longer series is
+// byte-identical to collecting the shorter one — the caller (the service's
+// collection layer) does the windowing. When several candidates exist the
+// one with the smallest MaxCores is returned, so the choice is
+// deterministic. The scan reads only each file's leading key envelope (Put
+// writes the key before the series payload), so it stays cheap even over a
+// store full of large series; like Get, unreadable files are skipped.
+func (st *Store) FindPrefix(ctx context.Context, k Key) (*counters.Series, bool) {
+	if st == nil || ctx.Err() != nil {
+		return nil, false
+	}
+	names, err := filepath.Glob(filepath.Join(st.dir, "*.json"))
+	if err != nil {
+		return nil, false
+	}
+	best := Key{}
+	for _, name := range names {
+		if ctx.Err() != nil {
+			return nil, false
+		}
+		c, ok := readKeyEnvelope(name)
+		if !ok {
+			continue
+		}
+		if c.Workload != k.Workload || c.Machine != k.Machine ||
+			c.Scale != k.Scale || c.Engine != k.Engine || c.MaxCores <= k.MaxCores {
+			continue
+		}
+		if best.MaxCores == 0 || c.MaxCores < best.MaxCores {
+			best = c
+		}
+	}
+	if best.MaxCores == 0 {
+		return nil, false
+	}
+	return st.Get(ctx, best)
+}
+
+// readKeyEnvelope decodes just the key of a cache file. The envelope's
+// fields stream in written order and "key" comes first, so the decoder
+// stops after a few hundred bytes instead of materializing the series
+// payload; a foreign field order is skipped over field by field.
+func readKeyEnvelope(path string) (Key, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Key{}, false
+	}
+	defer f.Close()
+	dec := json.NewDecoder(bufio.NewReaderSize(f, 4<<10))
+	if tok, err := dec.Token(); err != nil || tok != json.Delim('{') {
+		return Key{}, false
+	}
+	for dec.More() {
+		name, err := dec.Token()
+		if err != nil {
+			return Key{}, false
+		}
+		field, ok := name.(string)
+		if !ok {
+			return Key{}, false
+		}
+		if field == "key" {
+			var k Key
+			if err := dec.Decode(&k); err != nil {
+				return Key{}, false
+			}
+			return k, true
+		}
+		var skip json.RawMessage
+		if err := dec.Decode(&skip); err != nil {
+			return Key{}, false
+		}
+	}
+	return Key{}, false
 }
 
 // Delete evicts one entry. Deleting an absent entry is not an error.

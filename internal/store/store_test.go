@@ -164,6 +164,64 @@ func TestGetOrCollectWarmCache(t *testing.T) {
 	}
 }
 
+// FindPrefix must return the shortest cached superset series of a key's
+// schedule — and nothing when only unrelated or shorter entries exist.
+func TestFindPrefixReturnsShortestSuperset(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("intruder") // MaxCores 4
+	if _, ok := st.FindPrefix(ctx, k); ok {
+		t.Fatal("empty store should have no prefix candidate")
+	}
+
+	put := func(cores int, mutate func(*Key)) Key {
+		kk := testKey("intruder")
+		kk.MaxCores = cores
+		if mutate != nil {
+			mutate(&kk)
+		}
+		if err := st.Put(kk, sampleSeries("intruder", cores)); err != nil {
+			t.Fatal(err)
+		}
+		return kk
+	}
+	put(2, nil)                                     // shorter: not a superset
+	put(6, func(k *Key) { k.Scale = 1 })            // superset but wrong scale
+	put(6, func(k *Key) { k.Engine = "sim-other" }) // superset but wrong engine
+	if _, ok := st.FindPrefix(ctx, k); ok {
+		t.Fatal("no qualifying superset yet, FindPrefix should miss")
+	}
+
+	put(12, nil)
+	put(8, nil)
+	got, ok := st.FindPrefix(ctx, k)
+	if !ok {
+		t.Fatal("superset entries exist, FindPrefix should hit")
+	}
+	if len(got.Samples) != 8 {
+		t.Errorf("FindPrefix returned the %d-core series, want the shortest superset (8)", len(got.Samples))
+	}
+	if got.Samples[3].Cores != 4 {
+		t.Errorf("superset sample 4 has %d cores", got.Samples[3].Cores)
+	}
+
+	// An exact-length entry is not a prefix candidate (Get's job).
+	exact := testKey("intruder")
+	if _, ok := st.FindPrefix(ctx, Key{Workload: exact.Workload, Machine: exact.Machine,
+		MaxCores: 12, Scale: exact.Scale, Engine: exact.Engine}); ok {
+		t.Error("MaxCores equal to the largest entry should miss")
+	}
+
+	// A cancelled context reads as a miss, like Get.
+	dead, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, ok := st.FindPrefix(dead, k); ok {
+		t.Error("cancelled context should miss")
+	}
+}
+
 func TestStoreDeleteAndPrune(t *testing.T) {
 	st, err := Open(t.TempDir())
 	if err != nil {
