@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/sched"
 	"repro/internal/service"
 )
 
@@ -18,6 +19,7 @@ func newService(cacheDir string) (*service.Service, error) {
 
 func cmdList(ctx context.Context, args []string) error {
 	fs := newFlagSet("list")
+	verbose := fs.Bool("v", false, "also print each family's parameter schema (spec grammar: name?key=val,key=val)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -25,20 +27,39 @@ func cmdList(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := svc.List(ctx, service.ListRequest{})
+	resp, err := svc.List(ctx, service.ListRequest{Verbose: *verbose})
 	if err != nil {
 		return err
+	}
+	wlParams := map[string][]service.ParamInfo{}
+	for _, f := range resp.WorkloadFamilies {
+		wlParams[f.Name] = f.Params
+	}
+	machParams := map[string][]service.ParamInfo{}
+	for _, f := range resp.MachineFamilies {
+		machParams[f.Name] = f.Params
 	}
 	fmt.Println("workloads:")
 	for _, n := range resp.Workloads {
 		fmt.Printf("  %s\n", n)
+		printParams(wlParams[n])
 	}
 	fmt.Println("machines:")
 	for _, m := range resp.Machines {
 		fmt.Printf("  %-8s %2d cores (%d sockets x %d chips x %d cores) @ %.1f GHz [%s]\n",
 			m.Name, m.Cores, m.Sockets, m.ChipsPerSocket, m.CoresPerChip, m.FreqGHz, m.Arch)
+		printParams(machParams[m.Name])
 	}
 	return nil
+}
+
+// printParams renders one family's parameter schema under its list entry
+// (nothing for fixed workloads or non-verbose lists).
+func printParams(params []service.ParamInfo) {
+	for _, p := range params {
+		fmt.Printf("      %-10s %-6s default %-8s range [%s, %s]  %s\n",
+			p.Key, p.Type, p.Default, p.Min, p.Max, p.Help)
+	}
 }
 
 func cmdCurve(ctx context.Context, args []string) error {
@@ -48,6 +69,12 @@ func cmdCurve(ctx context.Context, args []string) error {
 	coreSpec := fs.String("cores", "all", "core counts, e.g. 1-12 or 1,2,4,8")
 	scale := fs.Float64("scale", 1, "dataset scale factor")
 	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	// Same grammar the service enforces (internal/sched): a schedule typo
+	// fails here, before any work is queued; the service additionally
+	// bounds the schedule against the resolved machine.
+	if err := sched.Validate(*coreSpec); err != nil {
 		return err
 	}
 	svc, err := newService("")
@@ -93,6 +120,9 @@ func cmdCollect(ctx context.Context, args []string) error {
 	out := fs.String("o", "", "write the series as JSON to this file (for 'predict -from')")
 	cacheDir := fs.String("cache", "", "measurement store directory, reused across runs (applies to contiguous 1..N core schedules; the replay notice is only printed with -o, since CSV owns stdout)")
 	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if err := sched.Validate(*coreSpec); err != nil {
 		return err
 	}
 	svc, err := newService(*cacheDir)

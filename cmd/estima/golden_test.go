@@ -44,6 +44,16 @@ var goldenCases = []struct {
 	{"list.golden", func() error {
 		return cmdList(bg, nil)
 	}},
+	{"list_v.golden", func() error {
+		return cmdList(bg, []string{"-v"})
+	}},
+	{"sweep_param_ndjson.golden", func() error {
+		// A value grid over one family plus a machine override: three
+		// scenarios whose cells carry canonical spec strings — including
+		// batch=1, which elides to the bare family name.
+		return cmdSweep(bg, []string{"-w", "intruder?batch=1,batch=2,batch=4",
+			"-m", "Haswell?cores=2", "-scale", "0.05", "-format", "ndjson"})
+	}},
 	{"curve_intruder_haswell.golden", func() error {
 		return cmdCurve(bg, []string{"-w", "intruder", "-m", "Haswell",
 			"-cores", "1-4", "-scale", "0.05"})

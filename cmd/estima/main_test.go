@@ -47,6 +47,10 @@ func TestRunExitCodes(t *testing.T) {
 		{"subcommand help", []string{"sweep", "-h"}, 0, "-format"},
 		{"execution error", []string{"predict", "-w", "no-such-workload", "-m", "Haswell"}, 1, "unknown workload"},
 		{"typo suggestion", []string{"predict", "-w", "intrduer", "-m", "Haswell"}, 1, `did you mean "intruder"?`},
+		{"param typo suggestion", []string{"predict", "-w", "memcached?skw=3", "-m", "Haswell"}, 1, `did you mean "skew"?`},
+		{"param out of bounds", []string{"predict", "-w", "memcached?skew=99", "-m", "Haswell"}, 1, "outside [1, 8]"},
+		{"machine param typo", []string{"predict", "-w", "intruder", "-m", "Haswell?coers=2"}, 1, `did you mean "cores"?`},
+		{"bad cores caught client-side", []string{"curve", "-w", "intruder", "-m", "Haswell", "-cores", "x"}, 1, "bad core count"},
 		{"success", []string{"list"}, 0, ""},
 		{"help", []string{"help"}, 0, ""},
 	}

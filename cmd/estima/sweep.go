@@ -5,11 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/service"
+	"repro/internal/spec"
 )
 
 // cmdSweep runs the full ESTIMA pipeline over every requested
@@ -50,11 +50,14 @@ func cmdSweep(ctx context.Context, args []string) error {
 		Bootstrap: *boot,
 		CILevel:   *ci,
 	}
+	// Spec-aware splitting: a comma followed by key=value continues the
+	// preceding spec's parameter list, so grids like
+	// -w 'memcached?skew=1.5,skew=3' survive the comma-separated flag.
 	if *wlSpec != "" {
-		req.Workloads = strings.Split(*wlSpec, ",")
+		req.Workloads = spec.SplitList(*wlSpec)
 	}
 	if *machSpec != "" {
-		req.Machines = strings.Split(*machSpec, ",")
+		req.Machines = spec.SplitList(*machSpec)
 	}
 	// -workers bounds the job pool AND the service's simulation semaphore,
 	// so it throttles total CPU exactly as it did pre-service.

@@ -109,7 +109,7 @@ func TestSweepCellDefaultsMeasCoresToOneProcessor(t *testing.T) {
 	if c.Error != "" {
 		t.Fatal(c.Error)
 	}
-	m := machine.ByName("Xeon20")
+	m := machine.Xeon20()
 	if c.MeasCores != m.ChipsPerSocket*m.CoresPerChip {
 		t.Errorf("meas cores = %d, want one processor (%d)", c.MeasCores, m.ChipsPerSocket*m.CoresPerChip)
 	}

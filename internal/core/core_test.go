@@ -163,7 +163,10 @@ func TestIntruderFig5EndToEnd(t *testing.T) {
 		step = 7
 	}
 	m := machine.Opteron()
-	w := workloads.ByName("intruder")
+	w, err := workloads.Lookup("intruder")
+	if err != nil {
+		t.Fatal(err)
+	}
 	measured, err := sim.CollectSeries(w, m, sim.CoreRange(12), 1)
 	if err != nil {
 		t.Fatal(err)
@@ -206,7 +209,10 @@ func TestIntruderFig5EndToEnd(t *testing.T) {
 
 func TestBottlenecksRankAndAttribute(t *testing.T) {
 	m := machine.Opteron()
-	w := workloads.ByName("streamcluster")
+	w, err := workloads.Lookup("streamcluster")
+	if err != nil {
+		t.Fatal(err)
+	}
 	measured, err := sim.CollectSeries(w, m, sim.CoreRange(12), 0.3)
 	if err != nil {
 		t.Fatal(err)

@@ -140,7 +140,10 @@ func TestPipelineStagesComposeToPredict(t *testing.T) {
 // count is a throughput knob, never a result knob.
 func TestParallelFittingMatchesSerialOnFig5Scenario(t *testing.T) {
 	m := machine.Opteron()
-	w := workloads.ByName("intruder")
+	w, err := workloads.Lookup("intruder")
+	if err != nil {
+		t.Fatal(err)
+	}
 	measured, err := sim.CollectSeries(w, m, sim.CoreRange(12), 1)
 	if err != nil {
 		t.Fatal(err)

@@ -21,6 +21,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/service"
 	"repro/internal/sim"
+	"repro/internal/spec"
 	"repro/internal/workloads"
 )
 
@@ -201,15 +202,18 @@ func coresFrom(from, to int) []int {
 
 // usesSoftwareStalls reports whether the paper collects software stalls for
 // this workload (§5.3: all STAMP applications via the SwissTM statistics,
-// plus streamcluster via the pthread wrapper).
+// plus streamcluster via the pthread wrapper). Parameterized variants
+// classify by their family: `intruder?batch=4` collects software stalls
+// exactly like intruder does.
 func usesSoftwareStalls(workload string) bool {
+	family := spec.Family(workload)
 	for _, n := range workloads.STAMPNames() {
-		if n == workload {
+		if n == family {
 			return true
 		}
 	}
-	return workload == "streamcluster" || workload == "streamcluster-spin" ||
-		workload == "intruder-batch"
+	return family == "streamcluster" || family == "streamcluster-spin" ||
+		family == "intruder-batch"
 }
 
 // sortedCats returns category names of a map in stable order.

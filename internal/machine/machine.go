@@ -3,12 +3,19 @@
 // cache and memory latencies, per-socket memory bandwidth and
 // synchronization primitive costs. The four presets correspond to the four
 // machines of the paper's evaluation (§4.2, §5.1).
+//
+// Presets are parameterized: Lookup accepts bounded override specs
+// (`Xeon20?cores=16,membw=0.8`, internal/spec grammar) re-validated by
+// Config.Validate, and names the resulting Config by the spec's canonical
+// form so every cache and seed keyed on the machine name distinguishes
+// overridden machines from their presets.
 package machine
 
 import (
 	"fmt"
 
 	"repro/internal/names"
+	"repro/internal/spec"
 )
 
 // Arch identifies the processor family, which determines the set of backend
@@ -235,11 +242,8 @@ func Presets() []*Config {
 	return []*Config{HaswellDesktop(), Opteron(), Xeon20(), Xeon48()}
 }
 
-// ByName returns the preset with the given name, or nil.
-//
-// Deprecated: use Lookup, which can never be nil-dereferenced and attaches a
-// closest-match suggestion to the error.
-func ByName(name string) *Config {
+// preset returns the named preset, or nil.
+func preset(name string) *Config {
 	for _, m := range Presets() {
 		if m.Name == name {
 			return m
@@ -248,15 +252,95 @@ func ByName(name string) *Config {
 	return nil
 }
 
-// Lookup returns the preset with the given name, or an error naming the
-// closest preset when the name looks like a typo.
-func Lookup(name string) (*Config, error) {
-	if m := ByName(name); m != nil {
-		return m, nil
-	}
+// presetNames returns the preset names in Presets order.
+func presetNames() []string {
 	var known []string
 	for _, m := range Presets() {
 		known = append(known, m.Name)
 	}
-	return nil, fmt.Errorf("unknown machine %q%s", name, names.Suggestion(name, known))
+	return known
+}
+
+// Schema returns a preset's override-parameter schema. The defaults are
+// the preset's own values, so every parameter elides from the canonical
+// form unless it actually changes the machine — a bare preset name is its
+// own canonical spec.
+func Schema(m *Config) *spec.Schema {
+	return &spec.Schema{
+		Context: fmt.Sprintf("machine %q", m.Name),
+		Params: []spec.Param{
+			{Key: "cores", Kind: spec.Int, Default: float64(m.NumCores()), Min: 1, Max: 1024,
+				Help: "total cores (split evenly across the chips)"},
+			{Key: "sockets", Kind: spec.Int, Default: float64(m.Sockets), Min: 1, Max: 16,
+				Help: "socket count"},
+			{Key: "freq", Kind: spec.Float, Default: m.FreqGHz, Min: 0.5, Max: 6,
+				Help: "clock frequency (GHz)"},
+			{Key: "membw", Kind: spec.Float, Default: 1, Min: 0.1, Max: 8,
+				Help: "memory-bandwidth factor relative to the preset"},
+		},
+	}
+}
+
+// Lookup resolves a machine spec — a preset name or bounded overrides like
+// `Xeon20?cores=16,membw=0.8` — to a Config re-validated by
+// Config.Validate. The returned Config's Name is the spec's canonical form
+// (defaults elided), so overridden machines key stores, fit caches and
+// simulator seeds distinctly while bare preset names stay byte-identical
+// to the pre-spec presets.
+func Lookup(name string) (*Config, error) {
+	sp, err := spec.Parse(name)
+	if err != nil {
+		return nil, fmt.Errorf("unknown machine %q: %v", name, err)
+	}
+	m := preset(sp.Family)
+	if m == nil {
+		return nil, fmt.Errorf("unknown machine %q%s", sp.Family, names.Suggestion(sp.Family, presetNames()))
+	}
+	schema := Schema(m)
+	vals, err := schema.Resolve(sp)
+	if err != nil {
+		return nil, err
+	}
+	// The effective default of `cores` depends on `sockets`: without an
+	// explicit count, a socket override keeps the per-chip shape and
+	// scales the total. Canonicalization must use that same effective
+	// default — `Xeon20?cores=40,sockets=4` IS `Xeon20?sockets=4` (one
+	// canonical name), while `Xeon20?cores=20,sockets=4` is a different
+	// machine and must keep its cores key — or equivalent machines would
+	// key stores, fit caches and sim seeds apart, and distinct ones
+	// together.
+	sockets := vals.GetInt("sockets")
+	derivedCores := sockets * m.ChipsPerSocket * m.CoresPerChip
+	cores := vals.GetInt("cores")
+	if !vals.Explicit("cores") {
+		cores = derivedCores
+	}
+	vals.Set("cores", float64(cores))
+	canonSchema := &spec.Schema{Context: schema.Context,
+		Params: append([]spec.Param(nil), schema.Params...)}
+	for i := range canonSchema.Params {
+		if canonSchema.Params[i].Key == "cores" {
+			canonSchema.Params[i].Default = float64(derivedCores)
+		}
+	}
+	canonical := canonSchema.Canonical(m.Name, vals)
+	if canonical == m.Name {
+		return m, nil
+	}
+	// Apply overrides: topology first (sockets, then the total core count
+	// split across the resulting chips), then the scalar knobs.
+	m.Sockets = sockets
+	chips := m.NumChips()
+	if cores%chips != 0 {
+		return nil, fmt.Errorf("machine %q: %d cores do not split evenly across %d chips",
+			canonical, cores, chips)
+	}
+	m.CoresPerChip = cores / chips
+	m.FreqGHz = vals.Get("freq")
+	m.MemBWLinesPerCycle *= vals.Get("membw")
+	m.Name = canonical
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
 }

@@ -11,11 +11,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"strconv"
-	"strings"
 
 	"repro/internal/counters"
-	"repro/internal/sim"
+	"repro/internal/sched"
 )
 
 // APIVersion is the current request/response schema version. Requests carry
@@ -267,8 +265,30 @@ type CurveResponse struct {
 }
 
 // ListRequest asks for the registered workloads and machine presets.
+// Verbose additionally returns every family's parameter schema — the keys,
+// types, bounds and defaults the spec grammar (`name?key=val,...`) accepts.
 type ListRequest struct {
 	APIVersion string `json:"api_version,omitempty"`
+	Verbose    bool   `json:"verbose,omitempty"`
+}
+
+// ParamInfo describes one spec parameter of a workload family or machine
+// preset. Default, Min and Max are rendered in the parameter's canonical
+// formatting — the exact strings a spec may use.
+type ParamInfo struct {
+	Key     string `json:"key"`
+	Type    string `json:"type"`
+	Default string `json:"default"`
+	Min     string `json:"min"`
+	Max     string `json:"max"`
+	Help    string `json:"help,omitempty"`
+}
+
+// FamilyInfo is one workload family or machine preset plus its parameter
+// schema (empty for fixed workloads).
+type FamilyInfo struct {
+	Name   string      `json:"name"`
+	Params []ParamInfo `json:"params,omitempty"`
 }
 
 // MachineInfo summarizes one machine preset for clients.
@@ -283,67 +303,42 @@ type MachineInfo struct {
 }
 
 // ListResponse names everything the service can measure and predict for.
+// The family fields carry the parameter schemas and are only populated for
+// Verbose requests, so non-verbose responses stay byte-identical to the
+// pre-spec API.
 type ListResponse struct {
-	APIVersion string        `json:"api_version"`
-	Workloads  []string      `json:"workloads"`
-	Machines   []MachineInfo `json:"machines"`
+	APIVersion       string        `json:"api_version"`
+	Workloads        []string      `json:"workloads"`
+	Machines         []MachineInfo `json:"machines"`
+	WorkloadFamilies []FamilyInfo  `json:"workload_families,omitempty"`
+	MachineFamilies  []FamilyInfo  `json:"machine_families,omitempty"`
 }
 
-// WorkloadsResponse is the GET /v1/workloads projection of ListResponse.
+// WorkloadsResponse is the GET /v1/workloads projection of ListResponse;
+// Families is only populated with ?schemas=1.
 type WorkloadsResponse struct {
-	APIVersion string   `json:"api_version"`
-	Workloads  []string `json:"workloads"`
+	APIVersion string       `json:"api_version"`
+	Workloads  []string     `json:"workloads"`
+	Families   []FamilyInfo `json:"families,omitempty"`
 }
 
-// MachinesResponse is the GET /v1/machines projection of ListResponse.
+// MachinesResponse is the GET /v1/machines projection of ListResponse;
+// Families is only populated with ?schemas=1.
 type MachinesResponse struct {
 	APIVersion string        `json:"api_version"`
 	Machines   []MachineInfo `json:"machines"`
+	Families   []FamilyInfo  `json:"families,omitempty"`
 }
 
 // parseCores parses "1,2,4" / "1-12" / "all" core schedule specs against a
-// machine's core count. Counts beyond the machine are rejected up front —
-// central validation, and a hostile "1-2000000000" range must not balloon
-// server memory before anything else looks at it.
+// machine's core count through the shared internal/sched grammar (the CLI
+// syntax-checks the same grammar up front). Counts beyond the machine are
+// rejected here — central validation, and a hostile "1-2000000000" range
+// must not balloon server memory before anything else looks at it.
 func parseCores(spec string, max int) ([]int, error) {
-	if spec == "" || spec == "all" {
-		return sim.CoreRange(max), nil
+	cores, err := sched.Expand(spec, max)
+	if err != nil {
+		return nil, &BadRequestError{Err: err}
 	}
-	var out []int
-	for _, part := range strings.Split(spec, ",") {
-		if lo, hi, ok := strings.Cut(part, "-"); ok {
-			l, err1 := strconv.Atoi(lo)
-			h, err2 := strconv.Atoi(hi)
-			if err1 != nil || err2 != nil || l < 1 || h < l {
-				return nil, badRequest("bad core range %q", part)
-			}
-			if h > max {
-				return nil, badRequest("core range %q exceeds the machine's %d cores", part, max)
-			}
-			for c := l; c <= h; c++ {
-				out = append(out, c)
-			}
-		} else {
-			c, err := strconv.Atoi(part)
-			if err != nil || c < 1 {
-				return nil, badRequest("bad core count %q", part)
-			}
-			if c > max {
-				return nil, badRequest("core count %d exceeds the machine's %d cores", c, max)
-			}
-			out = append(out, c)
-		}
-	}
-	return out, nil
-}
-
-// contiguousFromOne reports whether cores is exactly the schedule 1..N —
-// the only shape the measurement store is keyed by.
-func contiguousFromOne(cores []int) bool {
-	for i, c := range cores {
-		if c != i+1 {
-			return false
-		}
-	}
-	return len(cores) > 0
+	return cores, nil
 }

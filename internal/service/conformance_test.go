@@ -72,6 +72,9 @@ func TestServiceConformance(t *testing.T) {
 	list := func(ctx context.Context) (*ListResponse, error) {
 		return svc.List(ctx, ListRequest{})
 	}
+	listVerbose := func(ctx context.Context) (*ListResponse, error) {
+		return svc.List(ctx, ListRequest{Verbose: true})
+	}
 	cases := []struct {
 		golden string
 		method string
@@ -85,7 +88,7 @@ func TestServiceConformance(t *testing.T) {
 				if err != nil {
 					return nil, err
 				}
-				return WorkloadsResponse{resp.APIVersion, resp.Workloads}, nil
+				return WorkloadsResponse{APIVersion: resp.APIVersion, Workloads: resp.Workloads}, nil
 			}},
 		{"machines.json", http.MethodGet, "/v1/machines", "",
 			func(ctx context.Context, _ string) (any, error) {
@@ -93,7 +96,7 @@ func TestServiceConformance(t *testing.T) {
 				if err != nil {
 					return nil, err
 				}
-				return MachinesResponse{resp.APIVersion, resp.Machines}, nil
+				return MachinesResponse{APIVersion: resp.APIVersion, Machines: resp.Machines}, nil
 			}},
 		{"predict.json", http.MethodPost, "/v1/predict",
 			`{"api_version":"v1","workload":"intruder","machine":"Haswell","scale":0.05,"compare":true}`,
@@ -140,6 +143,63 @@ func TestServiceConformance(t *testing.T) {
 				}
 				return svc.Curve(ctx, req)
 			}},
+
+		// Parameterized specs on every endpoint: canonical spec strings in
+		// the responses, byte-identical across both paths.
+		{"workloads_schemas.json", http.MethodGet, "/v1/workloads?schemas=1", "",
+			func(ctx context.Context, _ string) (any, error) {
+				resp, err := listVerbose(ctx)
+				if err != nil {
+					return nil, err
+				}
+				return WorkloadsResponse{APIVersion: resp.APIVersion,
+					Workloads: resp.Workloads, Families: resp.WorkloadFamilies}, nil
+			}},
+		{"machines_schemas.json", http.MethodGet, "/v1/machines?schemas=1", "",
+			func(ctx context.Context, _ string) (any, error) {
+				resp, err := listVerbose(ctx)
+				if err != nil {
+					return nil, err
+				}
+				return MachinesResponse{APIVersion: resp.APIVersion,
+					Machines: resp.Machines, Families: resp.MachineFamilies}, nil
+			}},
+		{"predict_param.json", http.MethodPost, "/v1/predict",
+			`{"workload":"intruder?batch=4","machine":"Haswell?cores=2","scale":0.05,"compare":true}`,
+			func(ctx context.Context, body string) (any, error) {
+				var req PredictRequest
+				if err := json.Unmarshal([]byte(body), &req); err != nil {
+					return nil, err
+				}
+				return svc.Predict(ctx, req)
+			}},
+		{"sweep_param.json", http.MethodPost, "/v1/sweep",
+			`{"workloads":["intruder?batch=2,batch=4"],"machines":["Haswell?cores=2"],"scale":0.05}`,
+			func(ctx context.Context, body string) (any, error) {
+				var req SweepRequest
+				if err := json.Unmarshal([]byte(body), &req); err != nil {
+					return nil, err
+				}
+				return svc.Sweep(ctx, req)
+			}},
+		{"collect_param.json", http.MethodPost, "/v1/collect",
+			`{"workload":"memcached?skew=3","machine":"Haswell","cores":"1-2","scale":0.05}`,
+			func(ctx context.Context, body string) (any, error) {
+				var req CollectRequest
+				if err := json.Unmarshal([]byte(body), &req); err != nil {
+					return nil, err
+				}
+				return svc.Collect(ctx, req)
+			}},
+		{"curve_param.json", http.MethodPost, "/v1/curve",
+			`{"workload":"sqlite?writepct=80","machine":"Haswell","cores":"1-2","scale":0.05}`,
+			func(ctx context.Context, body string) (any, error) {
+				var req CurveRequest
+				if err := json.Unmarshal([]byte(body), &req); err != nil {
+					return nil, err
+				}
+				return svc.Curve(ctx, req)
+			}},
 	}
 	for _, c := range cases {
 		c := c
@@ -159,6 +219,26 @@ func TestServiceConformance(t *testing.T) {
 			}
 			checkGolden(t, c.golden, httpBody)
 		})
+	}
+}
+
+// TestSchemasParamFalsyValues pins that explicit falsy ?schemas= values
+// keep the compact body: ?schemas=0 and ?schemas=false answer exactly what
+// the bare GET answers.
+func TestSchemasParamFalsyValues(t *testing.T) {
+	h := newTestHandler(t, ServerConfig{})
+	for _, path := range []string{"/v1/workloads", "/v1/machines"} {
+		_, bare := do(t, h, http.MethodGet, path, "")
+		for _, q := range []string{"?schemas=0", "?schemas=false"} {
+			_, got := do(t, h, http.MethodGet, path+q, "")
+			if !bytes.Equal(got, bare) {
+				t.Errorf("GET %s%s differs from the bare GET", path, q)
+			}
+		}
+		_, verbose := do(t, h, http.MethodGet, path+"?schemas=1", "")
+		if bytes.Equal(verbose, bare) {
+			t.Errorf("GET %s?schemas=1 did not add schemas", path)
+		}
 	}
 }
 

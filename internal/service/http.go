@@ -85,23 +85,46 @@ func NewHandler(svc *Service, cfg ServerConfig) http.Handler {
 	mux.Handle("POST /v1/sweep", limited(lim, sweepHandler(svc)))
 	mux.Handle("POST /v1/collect", limited(lim, handleJSON(svc.Collect)))
 	mux.Handle("POST /v1/curve", limited(lim, handleJSON(svc.Curve)))
+	// ?schemas=1 on the GET endpoints additionally returns each family's
+	// parameter schema (the spec grammar's keys, types, bounds, defaults).
 	mux.Handle("GET /v1/workloads", limited(lim, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		resp, err := svc.List(r.Context(), ListRequest{})
+		verbose := wantSchemas(r)
+		resp, err := svc.List(r.Context(), ListRequest{Verbose: verbose})
 		if err != nil {
 			writeError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, WorkloadsResponse{resp.APIVersion, resp.Workloads})
+		writeJSON(w, http.StatusOK, WorkloadsResponse{
+			APIVersion: resp.APIVersion,
+			Workloads:  resp.Workloads,
+			Families:   resp.WorkloadFamilies,
+		})
 	})))
 	mux.Handle("GET /v1/machines", limited(lim, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		resp, err := svc.List(r.Context(), ListRequest{})
+		verbose := wantSchemas(r)
+		resp, err := svc.List(r.Context(), ListRequest{Verbose: verbose})
 		if err != nil {
 			writeError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, MachinesResponse{resp.APIVersion, resp.Machines})
+		writeJSON(w, http.StatusOK, MachinesResponse{
+			APIVersion: resp.APIVersion,
+			Machines:   resp.Machines,
+			Families:   resp.MachineFamilies,
+		})
 	})))
 	return mux
+}
+
+// wantSchemas reads the ?schemas= flag of the GET endpoints: explicit
+// falsy values ("0", "false") keep the compact body, anything else
+// non-empty asks for the parameter schemas.
+func wantSchemas(r *http.Request) bool {
+	switch r.URL.Query().Get("schemas") {
+	case "", "0", "false":
+		return false
+	}
+	return true
 }
 
 // sweepHandler serves POST /v1/sweep. Without a stream parameter it is the

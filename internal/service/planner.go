@@ -23,15 +23,41 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/spec"
 	"repro/internal/store"
 	"repro/internal/workloads"
 )
+
+// expandGrid parses one sweep entry as a spec and expands its value grid
+// into instance spec strings (a plain name or single-valued spec expands to
+// itself). Oversized grids and parse failures are the caller's fault.
+func expandGrid(entry string) ([]string, error) {
+	sp, err := spec.Parse(entry)
+	if err != nil {
+		return nil, &BadRequestError{Err: err}
+	}
+	insts, err := sp.Instances()
+	if err != nil {
+		return nil, &BadRequestError{Err: err}
+	}
+	out := make([]string, len(insts))
+	for i, inst := range insts {
+		out[i] = inst.String()
+	}
+	return out, nil
+}
 
 // DefaultFitCacheSize bounds the fitted-model memo when Config.FitCacheSize
 // is zero. An artifact is a few fitted functions plus the evaluated curves
 // — small next to the series it came from — so the default comfortably
 // covers the full workload × machine preset matrix at several option sets.
 const DefaultFitCacheSize = 256
+
+// maxSweepCells bounds one sweep's workload × machine matrix. Grids make
+// huge matrices cheap to *request* (spec.MaxGridInstances bounds each
+// entry, but entries multiply), so the aggregate is capped before any cell
+// is materialized.
+const maxSweepCells = 16384
 
 // fitEntry is one slot of the fitted-model memo. Like the series memo's
 // memoEntry, the computation runs detached from any single requester: the
@@ -270,39 +296,95 @@ func (s *Service) planSweep(req SweepRequest) (*sweepPlan, error) {
 	if req.CILevel != 0 && (req.CILevel <= 0 || req.CILevel >= 100) {
 		return nil, badRequest("confidence level %g%% outside (0, 100)", req.CILevel)
 	}
-	wls := req.Workloads
-	if len(wls) == 0 {
-		wls = workloads.Table4Names()
+	// Sweeps accept value grids: each requested workload or machine entry
+	// is a spec whose repeated keys expand into one instance per
+	// combination (`memcached?skew=1.5,skew=3` is two scenarios), and
+	// every instance carries its canonical spec string — the name all cache
+	// keys, seeds and cells agree on.
+	wlSpecs := req.Workloads
+	if len(wlSpecs) == 0 {
+		wlSpecs = workloads.Table4Names()
 	}
-	ws := make([]sim.Workload, len(wls))
-	for i, n := range wls {
-		w, err := workloads.Lookup(n)
+	var wls []string
+	var ws []sim.Workload
+	for _, entry := range wlSpecs {
+		insts, err := expandGrid(entry)
 		if err != nil {
-			return nil, &BadRequestError{Err: err}
+			return nil, err
 		}
-		ws[i] = w
+		// One entry is one scenario set: instances that canonicalize
+		// identically (`skew=2,skew=2.0`) collapse to one cell. Distinct
+		// list entries stay distinct, as they always have.
+		seen := map[string]bool{}
+		for _, n := range insts {
+			w, err := workloads.Lookup(n)
+			if err != nil {
+				return nil, &BadRequestError{Err: err}
+			}
+			if seen[w.Name()] {
+				continue
+			}
+			seen[w.Name()] = true
+			ws = append(ws, w)
+			wls = append(wls, w.Name())
+			// More workloads than the total cell cap can never form a
+			// valid matrix (there is at least one machine); stop expanding
+			// before a long entry list amasses unbounded instances.
+			if len(wls) > maxSweepCells {
+				return nil, badRequest("sweep expands to more than %d workloads", maxSweepCells)
+			}
+		}
 	}
 	machs := machine.Presets()
 	if len(req.Machines) > 0 {
 		machs = nil
-		for _, n := range req.Machines {
-			m, err := machine.Lookup(n)
+		for _, entry := range req.Machines {
+			insts, err := expandGrid(entry)
 			if err != nil {
-				return nil, &BadRequestError{Err: err}
+				return nil, err
 			}
-			machs = append(machs, m)
+			seen := map[string]bool{}
+			for _, n := range insts {
+				m, err := machine.Lookup(n)
+				if err != nil {
+					return nil, &BadRequestError{Err: err}
+				}
+				if seen[m.Name] {
+					continue
+				}
+				seen[m.Name] = true
+				machs = append(machs, m)
+				if len(machs) > maxSweepCells {
+					return nil, badRequest("sweep expands to more than %d machines", maxSweepCells)
+				}
+			}
 		}
 	}
 	scale := defaultScale(req.Scale)
 
+	// Bound the matrix BEFORE materializing a single cell: the per-spec
+	// grid cap (spec.MaxGridInstances) bounds each entry, but the
+	// workload × machine cross product — multiplied across list entries —
+	// would otherwise let a hundred-byte request allocate millions of
+	// cells. The ceiling is generous for real studies (the paper's full
+	// matrix is 23×4) while keeping a hostile sweep from ballooning server
+	// memory during planning.
+	if len(wls)*len(machs) > maxSweepCells {
+		return nil, badRequest("sweep expands to %d cells (%d workloads x %d machines), more than the %d-cell limit",
+			len(wls)*len(machs), len(wls), len(machs), maxSweepCells)
+	}
+
 	plan := &sweepPlan{workloads: wls}
-	for _, m := range machs {
+	// One targets slice per machine, shared by that machine's whole column.
+	machTargets := make([][]int, len(machs))
+	for mi, m := range machs {
 		plan.machineNames = append(plan.machineNames, m.Name)
+		machTargets[mi] = sim.CoreRange(m.NumCores())
 	}
 	seriesSeen := map[store.Key]bool{}
 	fitSeen := map[string]bool{}
 	for wi, wl := range wls {
-		for _, m := range machs {
+		for mi, m := range machs {
 			measCores := req.MeasCores
 			if measCores <= 0 {
 				measCores = m.OneProcessorCores()
@@ -318,7 +400,7 @@ func (s *Service) planSweep(req SweepRequest) (*sweepPlan, error) {
 				mach:      m,
 				measCores: measCores,
 				scale:     scale,
-				targets:   sim.CoreRange(m.NumCores()),
+				targets:   machTargets[mi],
 				opt: core.Options{
 					UseSoftware: req.Soft,
 					Bootstrap:   req.Bootstrap,

@@ -120,7 +120,7 @@ func TestConcurrentSweepsCollapseDuplicateFits(t *testing.T) {
 	if got := fits.Load(); got != 3 {
 		t.Errorf("%d overlapping sweeps ran %d fits, want one per distinct cell (3)", n, got)
 	}
-	m := machine.ByName("Haswell")
+	m := machine.HaswellDesktop()
 	if want := int64(3 * m.OneProcessorCores()); sims.Load() != want {
 		t.Errorf("simulator ran %d times, want %d", sims.Load(), want)
 	}
@@ -208,7 +208,7 @@ func TestSeriesPrefixWindowing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := machine.ByName("Haswell")
+	m := machine.HaswellDesktop()
 	full, _, err := svc.Series(bg, w, m, 4, 0.05)
 	if err != nil {
 		t.Fatal(err)
@@ -244,7 +244,7 @@ func TestSeriesPrefixWindowingFromStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := machine.ByName("Haswell")
+	m := machine.HaswellDesktop()
 	full, _, err := cold.Series(bg, w, m, 4, 0.05)
 	if err != nil {
 		t.Fatal(err)
@@ -281,7 +281,7 @@ func TestPrefixWindowingSurvivesShortParent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := machine.ByName("Haswell")
+	m := machine.HaswellDesktop()
 	// An honest 2-sample series filed under a MaxCores-4 key.
 	honest := newTestService(t, Config{})
 	short, _, err := honest.Series(bg, w, m, 2, 0.05)

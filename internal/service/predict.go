@@ -50,10 +50,15 @@ func (s *Service) Predict(ctx context.Context, req PredictRequest) (*PredictResp
 			return nil, &BadRequestError{Err: err}
 		}
 		// The series may come from outside the simulator (a real perf
-		// collector), so its workload and machine need not be registered;
-		// they are only required for comparison and frequency scaling.
-		w = workloads.ByName(measured.Workload)
-		mm = machine.ByName(measured.Machine)
+		// collector), so its workload and machine need not resolve — they
+		// are only required for comparison and frequency scaling. A series
+		// naming a parameterized spec resolves to that exact variant.
+		if lw, err := workloads.Lookup(measured.Workload); err == nil {
+			w = lw
+		}
+		if lm, err := machine.Lookup(measured.Machine); err == nil {
+			mm = lm
+		}
 		// Re-measuring comparable behaviour needs the scale the series was
 		// collected at; an externally collected file may not record it.
 		if measured.Scale > 0 {

@@ -8,7 +8,9 @@ import (
 
 	"repro/internal/counters"
 	"repro/internal/machine"
+	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/spec"
 	"repro/internal/store"
 	"repro/internal/workloads"
 )
@@ -381,7 +383,46 @@ func (s *Service) List(ctx context.Context, req ListRequest) (*ListResponse, err
 			Arch:           string(m.Arch),
 		})
 	}
+	if req.Verbose {
+		resp.WorkloadFamilies = workloadFamilies()
+		resp.MachineFamilies = machineFamilies()
+	}
 	return resp, nil
+}
+
+// paramInfos renders a schema's parameters for clients, values in their
+// canonical spec formatting.
+func paramInfos(params []spec.Param) []ParamInfo {
+	out := make([]ParamInfo, len(params))
+	for i, p := range params {
+		out[i] = ParamInfo{
+			Key:     p.Key,
+			Type:    p.Kind.String(),
+			Default: p.Format(p.Default),
+			Min:     p.Format(p.Min),
+			Max:     p.Format(p.Max),
+			Help:    p.Help,
+		}
+	}
+	return out
+}
+
+// workloadFamilies lists every workload family's parameter schema.
+func workloadFamilies() []FamilyInfo {
+	var out []FamilyInfo
+	for _, f := range workloads.Families() {
+		out = append(out, FamilyInfo{Name: f.Name, Params: paramInfos(f.Params)})
+	}
+	return out
+}
+
+// machineFamilies lists every machine preset's override schema.
+func machineFamilies() []FamilyInfo {
+	var out []FamilyInfo
+	for _, m := range machine.Presets() {
+		out = append(out, FamilyInfo{Name: m.Name, Params: paramInfos(machine.Schema(m).Params)})
+	}
+	return out
 }
 
 // Collect answers a CollectRequest: measure (or replay from the store) one
@@ -404,7 +445,7 @@ func (s *Service) Collect(ctx context.Context, req CollectRequest) (*CollectResp
 		ser *counters.Series
 		hit bool
 	)
-	if contiguousFromOne(cores) {
+	if sched.ContiguousFromOne(cores) {
 		ser, hit, err = s.series(ctx, w, m, len(cores), scale)
 	} else {
 		ser, err = s.collect(ctx, w, m, cores, scale)

@@ -154,7 +154,7 @@ func TestSeriesMemoizationAndStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := machine.ByName("Haswell")
+	m := machine.HaswellDesktop()
 	first, hit, err := svc.Series(bg, w, m, 4, 0.05)
 	if err != nil || hit {
 		t.Fatalf("cold series: hit=%v err=%v", hit, err)
@@ -195,7 +195,7 @@ func TestSeriesRetriesAfterCancelledCollection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := machine.ByName("Haswell")
+	m := machine.HaswellDesktop()
 	dead, cancel := context.WithCancel(bg)
 	cancel()
 	if _, _, err := svc.Series(dead, w, m, 3, 0.05); !errors.Is(err, context.Canceled) {
@@ -223,7 +223,7 @@ func TestSharedCollectionSurvivesOneWaitersCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := machine.ByName("Haswell")
+	m := machine.HaswellDesktop()
 
 	ctxA, cancelA := context.WithCancel(bg)
 	resA := make(chan error, 1)

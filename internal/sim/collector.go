@@ -27,7 +27,10 @@ type Workload interface {
 // Collect executes one measurement run: the workload on the machine with
 // the given number of cores and dataset scale. It is the simulated
 // equivalent of "run the application under perf stat once" and is
-// deterministic in all its arguments.
+// deterministic in all its arguments. The seed folds in both names — the
+// canonical spec strings of the resolved workload and machine — so every
+// parameterized variant measures as its own application rather than a
+// reshuffling of its family's default run.
 func Collect(w Workload, mach *machine.Config, cores int, scale float64) (counters.Sample, error) {
 	if cores < 1 || cores > mach.NumCores() {
 		return counters.Sample{}, fmt.Errorf("sim: %d cores out of range for %s (max %d)", cores, mach.Name, mach.NumCores())

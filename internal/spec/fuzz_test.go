@@ -1,0 +1,62 @@
+package spec
+
+import "testing"
+
+// FuzzParseSpec drives the spec grammar with arbitrary input: Parse must
+// never panic, and for any input it accepts, the schema-free canonical form
+// must round-trip — Parse(s).String() re-parses to the same family, same
+// pair multiset and the identical string (idempotent canonicalization).
+// The seed corpus always runs under plain `go test`; CI additionally
+// smoke-fuzzes for new coverage.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"memcached",
+		"memcached?",
+		"memcached?skew=0.6",
+		"memcached?skew=0.6,skew=0.9",
+		"Xeon20?cores=16,membw=0.8",
+		"lock-based HT?writepct=40",
+		"mc?b=2,a=1",
+		"mc?a==1",
+		"mc?a=1,,b=2",
+		"?x=1",
+		"",
+		"mc?skew=0x1.8p1",
+		"mc?a=-0",
+		"名前?キー=値",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sp, err := Parse(s)
+		if err != nil {
+			return
+		}
+		canon := sp.String()
+		sp2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, s, err)
+		}
+		if sp2.Family != sp.Family || len(sp2.Pairs) != len(sp.Pairs) {
+			t.Fatalf("round trip of %q changed shape: %v vs %v", s, sp, sp2)
+		}
+		if again := sp2.String(); again != canon {
+			t.Fatalf("String not idempotent on %q: %q then %q", s, canon, again)
+		}
+		// Grid expansion must cover exactly the product of value counts and
+		// every instance must itself round-trip as a non-grid. Oversized
+		// grids are rejected, never expanded.
+		insts, err := sp.Instances()
+		if err != nil {
+			return
+		}
+		for _, inst := range insts {
+			if inst.IsGrid() {
+				t.Fatalf("instance %q of %q is still a grid", inst.String(), s)
+			}
+			if _, err := Parse(inst.String()); err != nil {
+				t.Fatalf("instance %q of %q does not re-parse: %v", inst.String(), s, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,378 @@
+// Package spec implements the canonical scenario-spec grammar shared by
+// every ESTIMA layer:
+//
+//	name?key=val,key=val
+//
+// A spec names a workload family or machine preset plus parameter
+// overrides: `memcached?skew=3`, `Xeon20?cores=16,membw=0.8`. The grammar
+// opens the fixed benchmark/preset registries into a parameterized scenario
+// space while keeping one identity rule end to end: a scenario's *canonical
+// form* — keys sorted, values in fixed formatting, defaults elided — is the
+// string every layer keys on (service resolution, the measurement store,
+// the sweep planner's fit memo, simulator seeding, NDJSON cells). A bare
+// name is its own canonical form, so pre-spec store entries, cache keys and
+// goldens stay byte-identical.
+//
+// Parsing is schema-free (any keys, any values); resolution against a
+// Schema types, bounds and defaults the parameters. A key repeated with
+// different values is a *grid* — `memcached?skew=1.5,skew=3` — which
+// sweep-shaped callers expand into one instance per combination
+// (Instances); single-scenario callers reject it at resolution.
+package spec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/names"
+)
+
+// KV is one raw key=value pair of a parsed spec, order-preserved.
+type KV struct {
+	Key string
+	Val string
+}
+
+// Spec is one parsed (but not yet resolved) scenario spec.
+type Spec struct {
+	// Family is the workload-family or machine-preset name before '?'.
+	Family string
+	// Pairs are the raw parameter assignments in input order; a repeated
+	// key makes the spec a grid.
+	Pairs []KV
+}
+
+// Parse splits a spec string into its family and raw parameter pairs. It
+// enforces only the grammar — non-empty family and keys, '=' in every
+// pair — so it can parse specs for unknown families and report the better
+// "unknown family" error from resolution instead of a syntax error.
+func Parse(s string) (*Spec, error) {
+	fam, rest, has := strings.Cut(s, "?")
+	if fam == "" {
+		return nil, fmt.Errorf("spec %q: empty name", s)
+	}
+	sp := &Spec{Family: fam}
+	if !has || rest == "" {
+		return sp, nil
+	}
+	for _, part := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("spec %q: parameter %q is not key=value", s, part)
+		}
+		if v == "" {
+			return nil, fmt.Errorf("spec %q: parameter %q has an empty value", s, k)
+		}
+		sp.Pairs = append(sp.Pairs, KV{Key: k, Val: v})
+	}
+	return sp, nil
+}
+
+// Family returns the family name of a spec string without parsing the
+// parameters: everything before the first '?'. It never fails — malformed
+// parameter lists still have a family — which makes it safe for classifiers
+// like "is this a STAMP workload".
+func Family(s string) string {
+	fam, _, _ := strings.Cut(s, "?")
+	return fam
+}
+
+// IsGrid reports whether any key appears more than once.
+func (s *Spec) IsGrid() bool {
+	seen := make(map[string]bool, len(s.Pairs))
+	for _, p := range s.Pairs {
+		if seen[p.Key] {
+			return true
+		}
+		seen[p.Key] = true
+	}
+	return false
+}
+
+// String re-serializes the spec with keys sorted (value order preserved
+// within a repeated key) — the schema-free canonical form. Resolution
+// against a Schema additionally normalizes values and elides defaults;
+// String is what the fuzzer round-trips and what grids re-parse through.
+func (s *Spec) String() string {
+	if len(s.Pairs) == 0 {
+		return s.Family
+	}
+	pairs := append([]KV(nil), s.Pairs...)
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
+	var b strings.Builder
+	b.WriteString(s.Family)
+	b.WriteByte('?')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.Key)
+		b.WriteByte('=')
+		b.WriteString(p.Val)
+	}
+	return b.String()
+}
+
+// MaxGridInstances bounds how many instances one grid spec may expand to.
+// Grids multiply — every repeated key multiplies the instance count — so an
+// unbounded expansion would let one short hostile spec balloon a server's
+// memory before validation sees a single workload name.
+const MaxGridInstances = 4096
+
+// Instances expands a grid into one single-valued Spec per combination:
+// keys in first-appearance order, each key's values in input order
+// (repeating a value verbatim is deduplicated — an accidental
+// `batch=2,batch=2` is one scenario, not two identical sweep cells), later
+// keys varying fastest (row-major). A spec with no repeated keys expands to
+// itself. The order is deterministic, so sweep plans — and their NDJSON
+// streams — are stable for a given request. Expansions beyond
+// MaxGridInstances are an error, checked before any instance is built.
+func (s *Spec) Instances() ([]*Spec, error) {
+	var keys []string
+	vals := map[string][]string{}
+	total := 1
+pairs:
+	for _, p := range s.Pairs {
+		if _, ok := vals[p.Key]; !ok {
+			keys = append(keys, p.Key)
+		}
+		for _, v := range vals[p.Key] {
+			if v == p.Val {
+				continue pairs
+			}
+		}
+		vals[p.Key] = append(vals[p.Key], p.Val)
+	}
+	for _, k := range keys {
+		total *= len(vals[k])
+		if total > MaxGridInstances {
+			return nil, fmt.Errorf("spec %q: grid expands to more than %d instances", s.String(), MaxGridInstances)
+		}
+	}
+	out := []*Spec{{Family: s.Family}}
+	for _, k := range keys {
+		next := make([]*Spec, 0, len(out)*len(vals[k]))
+		for _, base := range out {
+			for _, v := range vals[k] {
+				inst := &Spec{Family: s.Family, Pairs: append(append([]KV(nil), base.Pairs...), KV{Key: k, Val: v})}
+				next = append(next, inst)
+			}
+		}
+		out = next
+	}
+	return out, nil
+}
+
+// SplitList splits a comma-separated list of specs, keeping parameter pairs
+// attached to their spec: `memcached?skew=1.5,skew=3,genome` is the
+// two-element list [memcached?skew=1.5,skew=3  genome], because a segment
+// of the form key=value continues the preceding spec's parameter list. This
+// is what lets `estima sweep -w` accept grids through the same
+// comma-separated flag that always listed bare names.
+func SplitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, seg := range strings.Split(s, ",") {
+		if len(out) > 0 && strings.Contains(seg, "=") && !strings.Contains(seg, "?") {
+			out[len(out)-1] += "," + seg
+			continue
+		}
+		out = append(out, seg)
+	}
+	return out
+}
+
+// Kind is a parameter's value type, which fixes its canonical formatting.
+type Kind int
+
+// Supported parameter kinds.
+const (
+	Float Kind = iota
+	Int
+)
+
+// String names the kind as `estima list -v` and the API report it.
+func (k Kind) String() string {
+	if k == Int {
+		return "int"
+	}
+	return "float"
+}
+
+// Param describes one parameter of a family's schema: its key, type,
+// default and inclusive bounds.
+type Param struct {
+	Key     string
+	Kind    Kind
+	Default float64
+	Min     float64
+	Max     float64
+	// Help is the one-line description `estima list -v` prints.
+	Help string
+}
+
+// Format renders a value of this parameter in canonical form: strconv's
+// shortest 'g' formatting for floats, base-10 for ints. Canonical
+// formatting is an identity rule — `skew=0.60` and `skew=0.6` must key the
+// same store entry — so every layer renders through it.
+func (p Param) Format(v float64) string {
+	// int(v) is implementation-specific outside float64's exact-integer
+	// range; such values only occur when formatting an out-of-bounds value
+	// into an error message, where 'g' notation reads better anyway.
+	if p.Kind == Int && math.Abs(v) < 1<<53 {
+		return strconv.Itoa(int(v))
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Schema is a family's parameter set. The zero Schema (no parameters) is
+// valid: fixed workloads use it, and any parameter then fails resolution
+// with "takes no parameters".
+type Schema struct {
+	// Context names the schema's owner in errors ("workload \"memcached\"").
+	Context string
+	Params  []Param
+}
+
+// Keys returns the parameter keys in declaration order.
+func (s *Schema) Keys() []string {
+	out := make([]string, len(s.Params))
+	for i, p := range s.Params {
+		out[i] = p.Key
+	}
+	return out
+}
+
+// find returns the parameter with the given key, or nil.
+func (s *Schema) find(key string) *Param {
+	for i := range s.Params {
+		if s.Params[i].Key == key {
+			return &s.Params[i]
+		}
+	}
+	return nil
+}
+
+// Values are a spec's resolved parameters: every schema key mapped to its
+// effective value (override or default), plus which keys were explicitly
+// set — canonicalization elides the rest.
+type Values struct {
+	vals     map[string]float64
+	explicit map[string]bool
+}
+
+// Get returns the effective value of a schema key. Asking for a key the
+// schema does not declare is a programming error and panics: resolution
+// already rejected unknown keys, so a miss here means the caller's key
+// string drifted from the schema.
+func (v Values) Get(key string) float64 {
+	val, ok := v.vals[key]
+	if !ok {
+		panic(fmt.Sprintf("spec: Get(%q) of an undeclared parameter", key))
+	}
+	return val
+}
+
+// GetInt is Get truncated to int (Int-kind parameters resolve integral).
+func (v Values) GetInt(key string) int { return int(v.Get(key)) }
+
+// Explicit reports whether the key was set in the spec (rather than
+// defaulted). Appliers use it when a parameter's default depends on other
+// parameters — e.g. a machine's total core count after a socket override.
+func (v Values) Explicit(key string) bool { return v.explicit[key] }
+
+// Set replaces the effective value of a declared key. Appliers whose
+// defaults depend on other parameters use it (together with a schema copy
+// carrying the dependent default) to canonicalize against the *effective*
+// default — e.g. a machine's core count after a socket override — so
+// equivalent machines share one canonical form and distinct ones never
+// alias. Setting an undeclared key panics, like Get.
+func (v Values) Set(key string, val float64) {
+	if _, ok := v.vals[key]; !ok {
+		panic(fmt.Sprintf("spec: Set(%q) of an undeclared parameter", key))
+	}
+	v.vals[key] = val
+}
+
+// Resolve validates a single-instance spec against the schema: every key
+// must be declared (unknown keys get a did-you-mean over the schema),
+// values must parse as the parameter's kind and land inside its bounds, and
+// no key may repeat (grids resolve instance by instance, never whole).
+func (s *Schema) Resolve(sp *Spec) (Values, error) {
+	v := Values{vals: map[string]float64{}, explicit: map[string]bool{}}
+	for _, p := range s.Params {
+		v.vals[p.Key] = p.Default
+	}
+	for _, kv := range sp.Pairs {
+		p := s.find(kv.Key)
+		if p == nil {
+			if len(s.Params) == 0 {
+				return Values{}, fmt.Errorf("%s takes no parameters (got %q)", s.Context, kv.Key)
+			}
+			return Values{}, fmt.Errorf("unknown parameter %q for %s%s",
+				kv.Key, s.Context, names.Suggestion(kv.Key, s.Keys()))
+		}
+		if v.explicit[kv.Key] {
+			return Values{}, fmt.Errorf("%s: parameter %q repeats (value grids are only valid in sweeps)",
+				s.Context, kv.Key)
+		}
+		val, err := p.parse(kv.Val)
+		if err != nil {
+			return Values{}, fmt.Errorf("%s: %w", s.Context, err)
+		}
+		v.vals[kv.Key] = val
+		v.explicit[kv.Key] = true
+	}
+	return v, nil
+}
+
+// parse converts one raw value by kind and checks the bounds. NaN and the
+// infinities are rejected up front: they have no stable canonical identity
+// and no meaningful bound check.
+func (p *Param) parse(raw string) (float64, error) {
+	f, err := strconv.ParseFloat(raw, 64)
+	if err != nil || f != f || f > 1e308 || f < -1e308 {
+		return 0, fmt.Errorf("parameter %q: %q is not a finite %s", p.Key, raw, p.Kind)
+	}
+	// Trunc, not int(f): converting a huge float to int is
+	// implementation-specific in Go, and a mathematically integral 1e30
+	// should fail the bounds check below with the right error, not a bogus
+	// "not an integer".
+	if p.Kind == Int && f != math.Trunc(f) {
+		return 0, fmt.Errorf("parameter %q: %q is not an integer", p.Key, raw)
+	}
+	if !(f >= p.Min && f <= p.Max) {
+		return 0, fmt.Errorf("parameter %q: %s outside [%s, %s]",
+			p.Key, p.Format(f), p.Format(p.Min), p.Format(p.Max))
+	}
+	return f, nil
+}
+
+// Canonical renders the canonical spec string of resolved values: keys
+// sorted, canonical value formatting, parameters equal to their default
+// elided. All-defaults canonicalizes to the bare family name — the identity
+// rule that keeps pre-spec store keys, cache entries and goldens valid.
+func (s *Schema) Canonical(family string, v Values) string {
+	var kept []KV
+	for _, p := range s.Params {
+		val := v.vals[p.Key]
+		if val == p.Default {
+			continue
+		}
+		kept = append(kept, KV{Key: p.Key, Val: p.Format(val)})
+	}
+	if len(kept) == 0 {
+		return family
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Key < kept[j].Key })
+	parts := make([]string, len(kept))
+	for i, kv := range kept {
+		parts[i] = kv.Key + "=" + kv.Val
+	}
+	return family + "?" + strings.Join(parts, ",")
+}

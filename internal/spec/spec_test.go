@@ -1,0 +1,260 @@
+package spec
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testSchema() *Schema {
+	return &Schema{
+		Context: `workload "mc"`,
+		Params: []Param{
+			{Key: "skew", Kind: Float, Default: 2, Min: 1, Max: 8},
+			{Key: "setpct", Kind: Int, Default: 5, Min: 0, Max: 100},
+		},
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in     string
+		family string
+		pairs  []KV
+		err    string
+	}{
+		{in: "memcached", family: "memcached"},
+		{in: "memcached?", family: "memcached"},
+		{in: "lock-based HT", family: "lock-based HT"},
+		{in: "mc?skew=0.6", family: "mc", pairs: []KV{{"skew", "0.6"}}},
+		{in: "mc?b=2,a=1", family: "mc", pairs: []KV{{"b", "2"}, {"a", "1"}}},
+		{in: "mc?a=1,a=2", family: "mc", pairs: []KV{{"a", "1"}, {"a", "2"}}},
+		{in: "", err: "empty name"},
+		{in: "?x=1", err: "empty name"},
+		{in: "mc?skew", err: "not key=value"},
+		{in: "mc?=3", err: "not key=value"},
+		{in: "mc?skew=", err: "empty value"},
+		{in: "mc?a=1,,b=2", err: "not key=value"},
+	}
+	for _, c := range cases {
+		sp, err := Parse(c.in)
+		if c.err != "" {
+			if err == nil || !strings.Contains(err.Error(), c.err) {
+				t.Errorf("Parse(%q) error = %v, want %q", c.in, err, c.err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if sp.Family != c.family || !reflect.DeepEqual(sp.Pairs, c.pairs) {
+			t.Errorf("Parse(%q) = %q %v, want %q %v", c.in, sp.Family, sp.Pairs, c.family, c.pairs)
+		}
+	}
+}
+
+func TestStringSortsKeys(t *testing.T) {
+	sp, err := Parse("mc?b=2,a=1,b=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stable sort: b's values keep their input order.
+	if got, want := sp.String(), "mc?a=1,b=2,b=3"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if got := (&Spec{Family: "mc"}).String(); got != "mc" {
+		t.Errorf("bare String() = %q, want mc", got)
+	}
+}
+
+func TestFamily(t *testing.T) {
+	if got := Family("mc?skew=3"); got != "mc" {
+		t.Errorf("Family = %q", got)
+	}
+	if got := Family("mc"); got != "mc" {
+		t.Errorf("Family = %q", got)
+	}
+}
+
+func TestInstances(t *testing.T) {
+	sp, err := Parse("mc?skew=0.6,skew=0.9,setpct=1,setpct=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, err := sp.Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, inst := range insts {
+		got = append(got, inst.String())
+	}
+	// First key slowest, later keys fastest (row-major).
+	want := []string{
+		"mc?setpct=1,skew=0.6", "mc?setpct=2,skew=0.6",
+		"mc?setpct=1,skew=0.9", "mc?setpct=2,skew=0.9",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Instances() = %v, want %v", got, want)
+	}
+
+	single, _ := Parse("mc?skew=3")
+	if insts, err := single.Instances(); err != nil || len(insts) != 1 || insts[0].String() != "mc?skew=3" {
+		t.Errorf("single Instances() = %v, %v", insts, err)
+	}
+	// A value repeated verbatim is one scenario, not duplicate cells.
+	dup, _ := Parse("mc?skew=2,skew=2,skew=3")
+	if insts, err := dup.Instances(); err != nil || len(insts) != 2 {
+		t.Errorf("duplicate-value Instances() = %v, %v; want 2 instances", insts, err)
+	}
+	// A hostile cross product is rejected before expansion: 13 keys with 2
+	// values each exceed MaxGridInstances.
+	var parts []string
+	for k := 0; k < 13; k++ {
+		key := string(rune('a' + k))
+		parts = append(parts, key+"=1", key+"=2")
+	}
+	huge, err := Parse("mc?" + strings.Join(parts, ","))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := huge.Instances(); err == nil || !strings.Contains(err.Error(), "grid expands") {
+		t.Errorf("huge grid error = %v", err)
+	}
+	if single.IsGrid() {
+		t.Error("single spec reported as grid")
+	}
+	if !sp.IsGrid() {
+		t.Error("grid spec not reported as grid")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"intruder,genome", []string{"intruder", "genome"}},
+		{"memcached?skew=0.6,skew=0.9", []string{"memcached?skew=0.6,skew=0.9"}},
+		{"memcached?skew=0.6,skew=0.9,genome", []string{"memcached?skew=0.6,skew=0.9", "genome"}},
+		{"genome,memcached?skew=0.6,intruder?batch=4,batch=8", []string{"genome", "memcached?skew=0.6", "intruder?batch=4,batch=8"}},
+	}
+	for _, c := range cases {
+		if got := SplitList(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitList(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestResolveAndCanonical(t *testing.T) {
+	sch := testSchema()
+	cases := []struct {
+		in        string
+		canonical string
+		err       string
+	}{
+		{in: "mc", canonical: "mc"},
+		{in: "mc?skew=2,setpct=5", canonical: "mc"}, // explicit defaults elide
+		{in: "mc?skew=2.0", canonical: "mc"},
+		{in: "mc?setpct=7,skew=0x1.8p1", canonical: "mc?setpct=7,skew=3"}, // hex float normalizes
+		{in: "mc?skew=1.60", canonical: "mc?skew=1.6"},
+		{in: "mc?skew=3,setpct=7", canonical: "mc?setpct=7,skew=3"},
+		{in: "mc?skw=3", err: `unknown parameter "skw" for workload "mc" (did you mean "skew"?)`},
+		{in: "mc?skew=9", err: "outside [1, 8]"},
+		{in: "mc?skew=NaN", err: "not a finite float"},
+		{in: "mc?skew=+Inf", err: "not a finite float"},
+		{in: "mc?setpct=1.5", err: "not an integer"},
+		{in: "mc?setpct=zz", err: "not a finite int"},
+		{in: "mc?skew=1,skew=2", err: "grids are only valid in sweeps"},
+	}
+	for _, c := range cases {
+		sp, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		vals, err := sch.Resolve(sp)
+		if c.err != "" {
+			if err == nil || !strings.Contains(err.Error(), c.err) {
+				t.Errorf("Resolve(%q) error = %v, want %q", c.in, err, c.err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Resolve(%q): %v", c.in, err)
+			continue
+		}
+		if got := sch.Canonical("mc", vals); got != c.canonical {
+			t.Errorf("Canonical(%q) = %q, want %q", c.in, got, c.canonical)
+		}
+	}
+}
+
+func TestResolveValues(t *testing.T) {
+	sch := testSchema()
+	sp, _ := Parse("mc?skew=3")
+	vals, err := sch.Resolve(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vals.Get("skew"); got != 3 {
+		t.Errorf("Get(skew) = %g", got)
+	}
+	if got := vals.GetInt("setpct"); got != 5 {
+		t.Errorf("GetInt(setpct) = %d (default expected)", got)
+	}
+	if !vals.Explicit("skew") || vals.Explicit("setpct") {
+		t.Errorf("Explicit flags wrong: skew=%t setpct=%t", vals.Explicit("skew"), vals.Explicit("setpct"))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Get of undeclared key did not panic")
+		}
+	}()
+	vals.Get("nope")
+}
+
+func TestEmptySchemaRejectsParams(t *testing.T) {
+	sch := &Schema{Context: `workload "yada"`}
+	sp, _ := Parse("yada?x=1")
+	if _, err := sch.Resolve(sp); err == nil || !strings.Contains(err.Error(), "takes no parameters") {
+		t.Errorf("Resolve error = %v", err)
+	}
+	bare, _ := Parse("yada")
+	vals, err := sch.Resolve(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sch.Canonical("yada", vals); got != "yada" {
+		t.Errorf("Canonical = %q", got)
+	}
+}
+
+// TestCanonicalIdempotent pins the identity rule the store and fit memo key
+// on: canonicalize → parse → resolve → canonicalize is a fixed point.
+func TestCanonicalIdempotent(t *testing.T) {
+	sch := testSchema()
+	for _, in := range []string{"mc", "mc?skew=2", "mc?setpct=7,skew=1.5", "mc?skew=1.50,setpct=07"} {
+		sp, err := Parse(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals, err := sch.Resolve(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canon := sch.Canonical("mc", vals)
+		sp2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse(canonical %q): %v", canon, err)
+		}
+		vals2, err := sch.Resolve(sp2)
+		if err != nil {
+			t.Fatalf("Resolve(canonical %q): %v", canon, err)
+		}
+		if again := sch.Canonical("mc", vals2); again != canon {
+			t.Errorf("canonical of %q not idempotent: %q then %q", in, canon, again)
+		}
+	}
+}

@@ -28,7 +28,11 @@ import (
 
 // Key identifies one collected measurement series.
 type Key struct {
-	// Workload and Machine name the simulated benchmark and machine preset.
+	// Workload and Machine name the simulated benchmark and machine in
+	// canonical spec form (internal/spec): a bare name for an all-defaults
+	// scenario, `family?key=val,...` for a parameterized variant. Callers
+	// resolve names through workloads.Lookup / machine.Lookup before keying,
+	// so equivalent spellings of one scenario share a single cache entry.
 	Workload string `json:"workload"`
 	Machine  string `json:"machine"`
 	// MaxCores is the top of the measured 1..MaxCores schedule.

@@ -1,0 +1,106 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/names"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// Params are a family's resolved parameter values (overrides merged over
+// defaults). Build functions read them with Get/GetInt.
+type Params = spec.Values
+
+// family is one registered workload family: a parameter schema plus a
+// constructor. The pre-spec registry's fixed workloads are families with an
+// empty schema; parameterized families instantiate one sim.Workload per
+// distinct canonical spec.
+type family struct {
+	name   string
+	schema *spec.Schema
+	build  func(name string, p Params) sim.Workload
+	// def is the all-defaults instance, built once at registration: bare
+	// names resolve to it, so default lookups keep the registry's pre-spec
+	// singleton behaviour (stable pointers, zero allocation per lookup).
+	def sim.Workload
+}
+
+// Registry of all workload families by name.
+var registry = map[string]*family{}
+var order []string
+
+// registerFamily registers a parameterized workload family. The build
+// function receives the canonical spec string as the instance name — the
+// identity every layer keys on (store keys, fit fingerprints, simulator
+// seeds, reports) — and the resolved parameter values.
+func registerFamily(name string, params []spec.Param, build func(name string, p Params) sim.Workload) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("workloads: duplicate %q", name))
+	}
+	f := &family{
+		name:   name,
+		schema: &spec.Schema{Context: fmt.Sprintf("workload %q", name), Params: params},
+		build:  build,
+	}
+	defaults, err := f.schema.Resolve(&spec.Spec{Family: name})
+	if err != nil {
+		panic(fmt.Sprintf("workloads: %q default schema: %v", name, err))
+	}
+	f.def = build(name, defaults)
+	if f.def.Name() != name {
+		panic(fmt.Sprintf("workloads: %q default instance names itself %q", name, f.def.Name()))
+	}
+	registry[name] = f
+	order = append(order, name)
+}
+
+// register registers a fixed (parameterless) workload — the shim the
+// pre-spec benchmarks use. The workload itself is the family's only
+// instance.
+func register(w sim.Workload) {
+	registerFamily(w.Name(), nil, func(string, Params) sim.Workload { return w })
+}
+
+// Lookup resolves a workload spec — a bare family name or
+// `family?key=val,...` — to a workload instance whose Name() is the spec's
+// canonical form. Unknown families and unknown parameter keys get
+// did-you-mean suggestions; values are typed and bounds-checked by the
+// family's schema. A bare name resolves to the family's all-defaults
+// singleton, exactly as the pre-spec registry did.
+func Lookup(name string) (sim.Workload, error) {
+	sp, err := spec.Parse(name)
+	if err != nil {
+		return nil, fmt.Errorf("unknown workload %q: %v", name, err)
+	}
+	f, ok := registry[sp.Family]
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q%s", sp.Family, names.Suggestion(sp.Family, order))
+	}
+	vals, err := f.schema.Resolve(sp)
+	if err != nil {
+		return nil, err
+	}
+	canonical := f.schema.Canonical(f.name, vals)
+	if canonical == f.name {
+		return f.def, nil
+	}
+	return f.build(canonical, vals), nil
+}
+
+// FamilyInfo describes one family's parameter schema for clients
+// (`estima list -v`, GET /v1/workloads?schemas=1).
+type FamilyInfo struct {
+	Name   string
+	Params []spec.Param
+}
+
+// Families returns every registered family and its parameter schema in
+// registration order.
+func Families() []FamilyInfo {
+	out := make([]FamilyInfo, 0, len(order))
+	for _, n := range order {
+		out = append(out, FamilyInfo{Name: n, Params: registry[n].schema.Params})
+	}
+	return out
+}

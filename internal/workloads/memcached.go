@@ -2,10 +2,25 @@ package workloads
 
 import (
 	"repro/internal/sim"
+	"repro/internal/spec"
 )
 
 func init() {
-	register(&memcached{})
+	registerFamily("memcached", []spec.Param{
+		{Key: "skew", Kind: spec.Float, Default: 2, Min: 1, Max: 8,
+			Help: "hot-key skew exponent (1 = uniform)"},
+		{Key: "setpct", Kind: spec.Int, Default: 5, Min: 0, Max: 100,
+			Help: "SET share of the request mix (%)"},
+		{Key: "valsize", Kind: spec.Int, Default: 550, Min: 64, Max: 16384,
+			Help: "object size (bytes)"},
+	}, func(name string, p Params) sim.Workload {
+		return &memcached{
+			name:    name,
+			skew:    p.Get("skew"),
+			setPct:  p.GetInt("setpct"),
+			valSize: p.GetInt("valsize"),
+		}
+	})
 }
 
 // memcached models the paper's first production workload (§4.3): the
@@ -16,19 +31,27 @@ func init() {
 // fraction of GET operations and every SET must take. The server stops
 // scaling once the lock handoffs dominate, which is the behaviour Fig 6(a)
 // predicts from three desktop cores.
-type memcached struct{}
+//
+// The family's parameters move the knobs the original client mix exposes:
+// key skew, the GET/SET split, and the object size (which sets how many
+// cache lines each value occupies).
+type memcached struct {
+	name    string
+	skew    float64
+	setPct  int
+	valSize int
+}
 
-func (w *memcached) Name() string { return "memcached" }
+func (w *memcached) Name() string { return w.name }
 
 func (w *memcached) Build(b *sim.Builder) {
 	const (
 		requestsTotal = 40000
 		hashBuckets   = 1 << 16
-		itemLines     = 9   // 550-byte objects: 9 cache lines
-		setPct        = 5   // read-mostly: 95% GET / 5% SET
 		lruTouchPct   = 2   // GETs bump the LRU only periodically
 		parseWork     = 500 // event loop + protocol parse + response assembly
 	)
+	itemLines := (w.valSize + 63) / 64 // 550-byte objects: 9 cache lines
 	table := b.Heap.Alloc("mc.hashtable", hashBuckets*64, true, sim.Interleaved)
 	items := b.Heap.Alloc("mc.items", 1<<23, true, sim.Interleaved)
 	lru := b.Heap.Alloc("mc.lru", 2*64, true, 0)
@@ -42,8 +65,8 @@ func (w *memcached) Build(b *sim.Builder) {
 	for th := 0; th < b.Threads; th++ {
 		p := b.Thread(th)
 		for i := 0; i < reqs[th]; i++ {
-			key := skewIdx(b, hashBuckets, 2)
-			isSet := b.Rand(100) < setPct
+			key := skewIdx(b, hashBuckets, w.skew)
+			isSet := b.Rand(100) < w.setPct
 			site := getSite
 			if isSet {
 				site = setSite

@@ -2,37 +2,60 @@ package workloads
 
 import (
 	"repro/internal/sim"
+	"repro/internal/spec"
 )
 
 // The four data-structure microbenchmarks of the paper (§4.2, from
 // "Why STM can be more than a research toy" [10]): lock-based and lock-free
 // hash tables and skip lists, exercised with a read-mostly mix of lookups,
-// inserts and removes over a shared key space.
+// inserts and removes over a shared key space. Each is a family
+// parameterized by its update share (the suite's classic contention knob)
+// plus one shape parameter.
 
 func init() {
-	register(&hashTable{name: "lock-based HT", locked: true})
-	register(&hashTable{name: "lock-free HT", locked: false})
-	register(&skipList{name: "lock-based SL", locked: true})
-	register(&skipList{name: "lock-free SL", locked: false})
+	htParams := []spec.Param{
+		{Key: "writepct", Kind: spec.Int, Default: 20, Min: 0, Max: 100,
+			Help: "insert/remove share of the operation mix (%)"},
+		{Key: "chain", Kind: spec.Int, Default: 2, Min: 1, Max: 16,
+			Help: "expected bucket chain length walked per operation"},
+	}
+	registerFamily("lock-based HT", htParams, func(name string, p Params) sim.Workload {
+		return &hashTable{name: name, locked: true, writePct: p.GetInt("writepct"), chain: p.GetInt("chain")}
+	})
+	registerFamily("lock-free HT", htParams, func(name string, p Params) sim.Workload {
+		return &hashTable{name: name, locked: false, writePct: p.GetInt("writepct"), chain: p.GetInt("chain")}
+	})
+	slParams := []spec.Param{
+		{Key: "writepct", Kind: spec.Int, Default: 20, Min: 0, Max: 100,
+			Help: "insert/remove share of the operation mix (%)"},
+		{Key: "levels", Kind: spec.Int, Default: 12, Min: 4, Max: 32,
+			Help: "tower levels descended per search (~log n)"},
+	}
+	registerFamily("lock-based SL", slParams, func(name string, p Params) sim.Workload {
+		return &skipList{name: name, locked: true, writePct: p.GetInt("writepct"), levels: p.GetInt("levels")}
+	})
+	registerFamily("lock-free SL", slParams, func(name string, p Params) sim.Workload {
+		return &skipList{name: name, locked: false, writePct: p.GetInt("writepct"), levels: p.GetInt("levels")}
+	})
 }
 
 // hashTable models a bucketed hash table. The lock-based variant stripes
 // the buckets over spinlocks; the lock-free variant publishes updates with
 // single-CAS stores on the bucket heads.
 type hashTable struct {
-	name   string
-	locked bool
+	name     string
+	locked   bool
+	writePct int
+	chain    int
 }
 
 func (h *hashTable) Name() string { return h.name }
 
 func (h *hashTable) Build(b *sim.Builder) {
 	const (
-		buckets   = 1 << 14
-		opsTotal  = 120000
-		stripes   = 128
-		writePct  = 20 // 80/20 read-mostly mix, the suite's default
-		bucketLen = 2  // expected chain length walked per operation
+		buckets  = 1 << 14
+		opsTotal = 120000
+		stripes  = 128
 	)
 	table := b.Heap.Alloc("ht.buckets", buckets*64, true, sim.Interleaved)
 	nodes := b.Heap.Alloc("ht.nodes", 1<<22, true, sim.Interleaved)
@@ -49,7 +72,7 @@ func (h *hashTable) Build(b *sim.Builder) {
 		p := b.Thread(th)
 		for i := 0; i < ops[th]; i++ {
 			key := b.Rand(buckets)
-			write := b.Rand(100) < writePct
+			write := b.Rand(100) < h.writePct
 			site := lookupSite
 			if write {
 				site = updateSite
@@ -61,7 +84,7 @@ func (h *hashTable) Build(b *sim.Builder) {
 			}
 			// Walk the bucket: head line plus chained nodes.
 			p.Load(table.Addr(uint64(key) * 64))
-			for n := 0; n < bucketLen; n++ {
+			for n := 0; n < h.chain; n++ {
 				p.Load(nodes.Addr(uint64(key*131+n*977) * 64))
 			}
 			if write {
@@ -82,8 +105,10 @@ func (h *hashTable) Build(b *sim.Builder) {
 // and holds it for the whole relink; the lock-free variant uses per-level
 // CAS stores.
 type skipList struct {
-	name   string
-	locked bool
+	name     string
+	locked   bool
+	writePct int
+	levels   int
 }
 
 func (s *skipList) Name() string { return s.name }
@@ -92,9 +117,7 @@ func (s *skipList) Build(b *sim.Builder) {
 	const (
 		elements = 1 << 16
 		opsTotal = 70000
-		levels   = 12
 		stripes  = 16 // coarse striping: the lock-based SL contends
-		writePct = 20
 	)
 	towers := b.Heap.Alloc("sl.towers", elements*64, true, sim.Interleaved)
 
@@ -110,11 +133,11 @@ func (s *skipList) Build(b *sim.Builder) {
 		p := b.Thread(th)
 		for i := 0; i < ops[th]; i++ {
 			key := b.Rand(elements)
-			write := b.Rand(100) < writePct
+			write := b.Rand(100) < s.writePct
 			p.At(searchSite)
 			// Descend the towers: one dependent load per level.
 			cur := key
-			for l := 0; l < levels; l++ {
+			for l := 0; l < s.levels; l++ {
 				p.Load(towers.Addr(uint64(cur) * 64))
 				p.Compute(6) // key compare + level step
 				cur = (cur*2654435761 + l) % elements

@@ -2,10 +2,18 @@ package workloads
 
 import (
 	"repro/internal/sim"
+	"repro/internal/spec"
 )
 
 func init() {
-	register(&sqlite{})
+	registerFamily("sqlite", []spec.Param{
+		{Key: "writepct", Kind: spec.Int, Default: 20, Min: 0, Max: 100,
+			Help: "updating share of the TPC-C mix reaching the writer lock (%)"},
+		{Key: "skew", Kind: spec.Float, Default: 2, Min: 1, Max: 8,
+			Help: "B-tree root-page skew exponent (1 = uniform)"},
+	}, func(name string, p Params) sim.Workload {
+		return &sqlite{name: name, writePct: p.GetInt("writepct"), skew: p.Get("skew")}
+	})
 }
 
 // sqlite models the paper's second production workload (§4.3): the SQLite
@@ -15,16 +23,19 @@ func init() {
 // append, while read-only Stock-Level/Order-Status queries run concurrent
 // B-tree descents. Writer serialization caps scalability early, the
 // behaviour Fig 6(b) predicts from four desktop cores.
-type sqlite struct{}
+type sqlite struct {
+	name     string
+	writePct int
+	skew     float64
+}
 
-func (w *sqlite) Name() string { return "sqlite" }
+func (w *sqlite) Name() string { return w.name }
 
 func (w *sqlite) Build(b *sim.Builder) {
 	const (
 		txTotal     = 12000
 		btreeLines  = 1 << 19 // ~32 MB of B-tree pages (10 GB scaled down)
 		btreeDepth  = 4
-		writePct    = 20 // the updating share of the mix reaching the writer lock
 		rowsPerRead = 8
 		rowsPerWr   = 4
 		sqlWork     = 700 // parse + plan + VDBE execution
@@ -42,8 +53,8 @@ func (w *sqlite) Build(b *sim.Builder) {
 		p := b.Thread(th)
 		walOff := uint64(th) * 4096
 		for i := 0; i < txs[th]; i++ {
-			isWrite := b.Rand(100) < writePct
-			root := skewIdx(b, btreeLines, 2)
+			isWrite := b.Rand(100) < w.writePct
+			root := skewIdx(b, btreeLines, w.skew)
 			if isWrite {
 				p.At(writeSite)
 				p.Compute(sqlWork)

@@ -10,56 +10,32 @@
 // the original synchronization pattern (locks, barriers or software
 // transactions) and the original compute mix — rather than its exact
 // computation, which is all the ESTIMA pipeline observes.
+//
+// Workloads are parameterized families: each registers a parameter schema
+// (key skew, read/update mix, transaction batch length, object size, ...)
+// whose defaults reproduce the paper's configuration, and Lookup resolves
+// canonical spec strings (`memcached?skew=3`, internal/spec grammar) into
+// instances named by their canonical form. A bare family name is the
+// all-defaults instance, byte-identical to the pre-spec registry.
 package workloads
 
 import (
-	"fmt"
+	"math"
 	"sort"
 
-	"repro/internal/names"
 	"repro/internal/sim"
 )
 
-// Registry of all workloads by name.
-var registry = map[string]sim.Workload{}
-var order []string
-
-func register(w sim.Workload) {
-	if _, dup := registry[w.Name()]; dup {
-		panic(fmt.Sprintf("workloads: duplicate %q", w.Name()))
-	}
-	registry[w.Name()] = w
-	order = append(order, w.Name())
-}
-
-// ByName returns the workload with the given name, or nil.
-//
-// Deprecated: use Lookup, which can never be nil-dereferenced and attaches a
-// closest-match suggestion to the error. ByName remains for callers that
-// genuinely want "registered or not" as a boolean-shaped answer.
-func ByName(name string) sim.Workload {
-	return registry[name]
-}
-
-// Lookup returns the workload with the given name, or an error naming the
-// closest registered workload when the name looks like a typo.
-func Lookup(name string) (sim.Workload, error) {
-	if w, ok := registry[name]; ok {
-		return w, nil
-	}
-	return nil, fmt.Errorf("unknown workload %q%s", name, names.Suggestion(name, order))
-}
-
-// Names returns all registered workload names in registration order.
+// Names returns all registered workload family names in registration order.
 func Names() []string {
 	return append([]string(nil), order...)
 }
 
-// All returns all registered workloads in registration order.
+// All returns every family's all-defaults workload in registration order.
 func All() []sim.Workload {
 	out := make([]sim.Workload, 0, len(order))
 	for _, n := range order {
-		out = append(out, registry[n])
+		out = append(out, registry[n].def)
 	}
 	return out
 }
@@ -105,13 +81,25 @@ func split(n, t int) []int {
 // skewIdx draws an index in [0, n) biased toward low indices with the given
 // skew exponent (1 = uniform; higher = more skewed). It models the hot-key
 // distributions of key-value and database workloads.
+//
+// The bias multiplies a uniform draw by skew-1 further uniform factors;
+// the fractional part of skew-1 contributes a fractional power of one more
+// draw, so the exponent is continuous — skew=1.5 sits strictly between
+// uniform and skew=2, and two specs with different skews never share a
+// distribution. Integer skews take no extra random draws, so the paper's
+// default configurations measure byte-identically to the pre-parameter
+// builders.
 func skewIdx(b *sim.Builder, n int, skew float64) int {
 	if n <= 1 {
 		return 0
 	}
 	u := b.RandFloat()
-	for i := 1.0; i < skew; i++ {
+	bias := skew - 1
+	for i := 1.0; i <= bias; i++ {
 		u *= b.RandFloat()
+	}
+	if frac := bias - math.Floor(bias); frac > 0 {
+		u *= math.Pow(b.RandFloat(), frac)
 	}
 	idx := int(u * float64(n))
 	if idx >= n {

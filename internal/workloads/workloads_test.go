@@ -3,6 +3,7 @@ package workloads
 import (
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/machine"
@@ -11,23 +12,33 @@ import (
 
 const testScale = 0.05 // shrink datasets so unit tests stay fast
 
+// mustLookup resolves a workload spec or fails the test.
+func mustLookup(t *testing.T, name string) sim.Workload {
+	t.Helper()
+	w, err := Lookup(name)
+	if err != nil {
+		t.Fatalf("Lookup(%q): %v", name, err)
+	}
+	return w
+}
+
 func TestRegistryComplete(t *testing.T) {
 	// 19 benchmarks + memcached + sqlite + 2 fixed variants.
 	if got := len(All()); got != 23 {
 		t.Errorf("registered %d workloads, want 23", got)
 	}
 	for _, name := range Table4Names() {
-		if ByName(name) == nil {
-			t.Errorf("Table 4 workload %q not registered", name)
+		if _, err := Lookup(name); err != nil {
+			t.Errorf("Table 4 workload %q not registered: %v", name, err)
 		}
 	}
 	for _, name := range []string{"memcached", "sqlite", "streamcluster-spin", "intruder-batch"} {
-		if ByName(name) == nil {
-			t.Errorf("workload %q not registered", name)
+		if _, err := Lookup(name); err != nil {
+			t.Errorf("workload %q not registered: %v", name, err)
 		}
 	}
-	if ByName("nope") != nil {
-		t.Error("unknown workload should be nil")
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown workload should fail Lookup")
 	}
 	if len(Names()) != len(All()) {
 		t.Error("Names/All length mismatch")
@@ -35,12 +46,84 @@ func TestRegistryComplete(t *testing.T) {
 	if len(sortedNames()) != len(All()) {
 		t.Error("sortedNames length mismatch")
 	}
+	if len(Families()) != len(All()) {
+		t.Error("Families/All length mismatch")
+	}
 }
 
 func TestSuiteSubsetsRegistered(t *testing.T) {
 	for _, name := range append(STAMPNames(), ParsecNames()...) {
-		if ByName(name) == nil {
-			t.Errorf("suite workload %q not registered", name)
+		if _, err := Lookup(name); err != nil {
+			t.Errorf("suite workload %q not registered: %v", name, err)
+		}
+	}
+}
+
+func TestLookupSpecs(t *testing.T) {
+	// A bare name is the all-defaults singleton, pointer-stable.
+	if mustLookup(t, "memcached") != mustLookup(t, "memcached") {
+		t.Error("bare lookups return different instances")
+	}
+	// Explicit defaults canonicalize to the bare name — same singleton.
+	if mustLookup(t, "memcached?skew=2,setpct=5") != mustLookup(t, "memcached") {
+		t.Error("all-defaults spec did not resolve to the bare singleton")
+	}
+	// Overrides name themselves canonically: sorted keys, defaults elided,
+	// fixed float formatting.
+	w := mustLookup(t, "memcached?valsize=1024,skew=3.50,setpct=5")
+	if got, want := w.Name(), "memcached?skew=3.5,valsize=1024"; got != want {
+		t.Errorf("instance name = %q, want %q", got, want)
+	}
+	// Families with spaces in their names parse too.
+	if got := mustLookup(t, "lock-based HT?writepct=40").Name(); got != "lock-based HT?writepct=40" {
+		t.Errorf("spaced family name = %q", got)
+	}
+
+	for _, c := range []struct{ in, wantErr string }{
+		{"memcached?skw=3", `unknown parameter "skw" for workload "memcached" (did you mean "skew"?)`},
+		{"memcachd?skew=3", `unknown workload "memcachd" (did you mean "memcached"?)`},
+		{"memcached?skew=99", `outside [1, 8]`},
+		{"memcached?skew=1,skew=2", "grids are only valid in sweeps"},
+		{"yada?x=1", "takes no parameters"},
+		{"memcached?skew", "not key=value"},
+	} {
+		_, err := Lookup(c.in)
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("Lookup(%q) error = %v, want %q", c.in, err, c.wantErr)
+		}
+	}
+}
+
+// TestVariantsChangeMeasurements pins that parameters actually reach the
+// builders: a parameter override must change what the simulator measures,
+// and distinct instances must be independently deterministic.
+func TestVariantsChangeMeasurements(t *testing.T) {
+	m := machine.Xeon20()
+	for _, pair := range [][2]string{
+		{"memcached", "memcached?setpct=50"},
+		{"intruder", "intruder?batch=8"},
+		{"kmeans", "kmeans?centroids=2"},
+		{"lock-based HT", "lock-based HT?writepct=80"},
+		{"sqlite", "sqlite?writepct=80"},
+		{"genome", "genome?rounds=4"},
+	} {
+		base, err := sim.Collect(mustLookup(t, pair[0]), m, 4, testScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		varied, err := sim.Collect(mustLookup(t, pair[1]), m, 4, testScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Seconds == varied.Seconds {
+			t.Errorf("%s and %s measure identically (%.6gs)", pair[0], pair[1], base.Seconds)
+		}
+		again, err := sim.Collect(mustLookup(t, pair[1]), m, 4, testScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(varied, again) {
+			t.Errorf("%s: two identical variant runs differ", pair[1])
 		}
 	}
 }
@@ -99,7 +182,7 @@ func TestEveryWorkloadDeterministic(t *testing.T) {
 func TestSTMWorkloadsReportTxStalls(t *testing.T) {
 	m := machine.Opteron()
 	for _, name := range STAMPNames() {
-		w := ByName(name)
+		w := mustLookup(t, name)
 		s, err := sim.Collect(w, m, 8, testScale)
 		if err != nil {
 			t.Fatal(err)
@@ -115,7 +198,7 @@ func TestSTMWorkloadsReportTxStalls(t *testing.T) {
 func TestEmbarrassinglyParallelScaleWell(t *testing.T) {
 	m := machine.Xeon20()
 	for _, name := range []string{"blackscholes", "swaptions", "raytrace"} {
-		w := ByName(name)
+		w := mustLookup(t, name)
 		s1, err := sim.Collect(w, m, 1, testScale)
 		if err != nil {
 			t.Fatal(err)
@@ -138,11 +221,11 @@ func TestFixedVariantsFasterAtScale(t *testing.T) {
 		{"intruder", "intruder-batch"},
 	}
 	for _, pair := range pairs {
-		orig, err := sim.Collect(ByName(pair[0]), m, 48, testScale)
+		orig, err := sim.Collect(mustLookup(t, pair[0]), m, 48, testScale)
 		if err != nil {
 			t.Fatal(err)
 		}
-		fixed, err := sim.Collect(ByName(pair[1]), m, 48, testScale)
+		fixed, err := sim.Collect(mustLookup(t, pair[1]), m, 48, testScale)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -175,6 +258,47 @@ func TestSplit(t *testing.T) {
 		if sum != c.n {
 			t.Errorf("split(%d,%d) loses items", c.n, c.t)
 		}
+	}
+}
+
+// TestFractionalSkewIsContinuous pins that the skew exponent is genuinely
+// continuous: a fractional skew must produce a different measurement from
+// both neighbouring integers — otherwise `skew=1.5` and `skew=2` would be
+// behaviorally identical scenarios keyed apart in every cache, violating
+// the spec layer's identity rule.
+func TestFractionalSkewIsContinuous(t *testing.T) {
+	m := machine.Xeon20()
+	times := map[string]float64{}
+	for _, s := range []string{"memcached?skew=1", "memcached?skew=1.5", "memcached?skew=2"} {
+		smp, err := sim.Collect(mustLookup(t, s), m, 4, testScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[s] = smp.Seconds
+	}
+	if times["memcached?skew=1.5"] == times["memcached?skew=2"] ||
+		times["memcached?skew=1.5"] == times["memcached?skew=1"] {
+		t.Errorf("fractional skew is dead: %v", times)
+	}
+}
+
+// TestSkewIdxFractionalBias checks the distribution itself: skew=1.5 must
+// bias strictly between uniform and skew=2 (low-index mass ordered
+// 1 < 1.5 < 2), and integer skews must take no extra random draws.
+func TestSkewIdxFractionalBias(t *testing.T) {
+	lowMass := func(skew float64) int {
+		b := sim.NewBuilder(machine.Xeon20(), 1, 1, 42)
+		low := 0
+		for i := 0; i < 8000; i++ {
+			if skewIdx(b, 100, skew) < 25 {
+				low++
+			}
+		}
+		return low
+	}
+	l1, l15, l2 := lowMass(1), lowMass(1.5), lowMass(2)
+	if !(l1 < l15 && l15 < l2) {
+		t.Errorf("low-index mass not ordered: skew1=%d skew1.5=%d skew2=%d", l1, l15, l2)
 	}
 }
 
