@@ -1,6 +1,8 @@
 // Command estima-bench regenerates the paper's tables and figures (and the
 // DESIGN.md ablations) on the simulated machines, printing each experiment's
 // rows and optionally writing them under a results directory.
+//
+//estima:timing reports per-experiment wall-clock durations in its progress output
 package main
 
 import (

@@ -1,0 +1,224 @@
+// Command estima-vet runs the repository's determinism and canonical-spec
+// analyzer suite (internal/analysis/...): determinism, maporder,
+// canonicalkey, ctxflow and boundedspawn.
+//
+// It speaks two protocols:
+//
+//   - vettool: `go vet -vettool=$(which estima-vet) ./...` — the go command
+//     drives it per package with the (unpublished) unitchecker protocol: a
+//     -V=full handshake, a -flags query, then one JSON config file per
+//     package naming the sources and every dependency's export data. This
+//     is how CI runs it, including over _test.go files.
+//
+//   - standalone: `estima-vet ./...` — loads patterns itself via
+//     `go list -export` and analyzes the non-test sources. Convenient
+//     locally; no go vet caching.
+//
+// By default every analyzer runs; passing any analyzer name as a flag
+// (e.g. -determinism) restricts the run to the named ones.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/estimavet"
+	"repro/internal/analysis/load"
+)
+
+func main() {
+	// The -V=full handshake must come first: the go command invokes it to
+	// derive the tool's cache-busting build ID before anything else.
+	for _, arg := range os.Args[1:] {
+		if arg == "-V=full" || arg == "--V=full" {
+			printVersion()
+			return
+		}
+	}
+
+	enabled := map[string]*bool{}
+	for _, a := range estimavet.Analyzers() {
+		enabled[a.Name] = flag.Bool(a.Name, false, "run only the named analyzers: "+firstLine(a.Doc))
+	}
+	flagsQuery := flag.Bool("flags", false, "describe the supported flags as JSON (go vet protocol)")
+	flag.Parse()
+
+	if *flagsQuery {
+		printFlags()
+		return
+	}
+
+	analyzers := estimavet.Analyzers()
+	var picked []*analysis.Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			picked = append(picked, a)
+		}
+	}
+	if len(picked) > 0 {
+		analyzers = picked
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0], analyzers))
+	}
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: estima-vet [-<analyzer>...] <packages>  (or: go vet -vettool=$(which estima-vet) <packages>)")
+		os.Exit(2)
+	}
+	os.Exit(standalone(args, analyzers))
+}
+
+// printVersion implements the -V=full handshake: the go command wants
+// `<name> version devel ... buildID=<content id>` and caches vet results
+// keyed on it, so the ID must change when the binary does — the hex digest
+// of the executable itself is exactly that.
+func printVersion() {
+	name := "estima-vet"
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", name, h.Sum(nil))
+}
+
+// printFlags answers `estima-vet -flags`: the go command asks which flags
+// the tool supports so it can validate the vet command line.
+func printFlags() {
+	type flagJSON struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []flagJSON
+	for _, a := range estimavet.Analyzers() {
+		out = append(out, flagJSON{Name: a.Name, Bool: true, Usage: firstLine(a.Doc)})
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		panic(err)
+	}
+	os.Stdout.Write(data)
+	os.Stdout.Write([]byte("\n"))
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// vetConfig mirrors the JSON the go command writes for each vetted package
+// (cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one package under the go vet protocol and returns the
+// process exit code.
+func unitcheck(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "estima-vet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "estima-vet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The suite is factless, so the "vetx facts" output the go command
+	// expects is always empty — but it must exist, even when we only ran to
+	// produce facts for a dependency (VetxOnly).
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "estima-vet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	fset := token.NewFileSet()
+	files, err := load.ParseFiles(fset, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "estima-vet: %v\n", err)
+		return 1
+	}
+	imp := load.NewImporter(fset, cfg.PackageFile, cfg.ImportMap, nil)
+	pkg, info, err := load.Check(cfg.ImportPath, fset, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "estima-vet: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	diags, err := estimavet.Run(analyzers, fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "estima-vet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	printDiags(fset, diags)
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// standalone loads the patterns itself and analyzes every matched package.
+func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	pkgs, err := load.Load("", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "estima-vet: %v\n", err)
+		return 1
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		diags, err := estimavet.Run(analyzers, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "estima-vet: %s: %v\n", pkg.ImportPath, err)
+			return 1
+		}
+		printDiags(pkg.Fset, diags)
+		if len(diags) > 0 {
+			exit = 2
+		}
+	}
+	return exit
+}
+
+func printDiags(fset *token.FileSet, diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Category)
+	}
+}

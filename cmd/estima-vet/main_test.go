@@ -1,0 +1,150 @@
+package main_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// buildVet compiles the estima-vet binary once per test binary run.
+func buildVet(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "estima-vet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building estima-vet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule lays out a throwaway single-package module for go vet to chew
+// on and returns its directory.
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.24\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func govet(t *testing.T, vettool, dir string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+vettool, "./...")
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	return buf.String(), err
+}
+
+// TestVettoolFailsOnTimeNow is the acceptance gate: wiring estima-vet into
+// `go vet -vettool` must fail a build that sneaks wall-clock time into
+// deterministic code, and pass once the call is gone.
+func TestVettoolFailsOnTimeNow(t *testing.T) {
+	vet := buildVet(t)
+	dir := writeModule(t, `package scratch
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	out, err := govet(t, vet, dir)
+	if err == nil {
+		t.Fatalf("go vet passed a time.Now call; output:\n%s", out)
+	}
+	if !regexp.MustCompile(`call to time\.Now in deterministic code`).MatchString(out) {
+		t.Fatalf("go vet failed without the determinism diagnostic:\n%s", out)
+	}
+
+	clean := writeModule(t, `package scratch
+
+func Stamp() int64 { return 42 }
+`)
+	if out, err := govet(t, vet, clean); err != nil {
+		t.Fatalf("go vet rejected a clean package: %v\n%s", err, out)
+	}
+}
+
+// TestVettoolHonorsAllowDirective: the same violation under //estima:allow
+// must pass, and a malformed directive must fail loudly.
+func TestVettoolHonorsAllowDirective(t *testing.T) {
+	vet := buildVet(t)
+	allowed := writeModule(t, `package scratch
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano() //estima:allow determinism scratch fixture
+}
+`)
+	if out, err := govet(t, vet, allowed); err != nil {
+		t.Fatalf("go vet rejected an allowed call: %v\n%s", err, out)
+	}
+
+	typo := writeModule(t, `package scratch
+
+//estima:alow determinism typo
+func Stamp() int64 { return 42 }
+`)
+	out, err := govet(t, vet, typo)
+	if err == nil {
+		t.Fatalf("go vet passed a malformed //estima: directive; output:\n%s", out)
+	}
+	if !regexp.MustCompile(`malformed //estima: directive`).MatchString(out) {
+		t.Fatalf("go vet failed without the directive diagnostic:\n%s", out)
+	}
+}
+
+// TestVersionHandshake checks the -V=full line the go command keys its vet
+// cache on: `<name> version <version> buildID=<hex>`.
+func TestVersionHandshake(t *testing.T) {
+	vet := buildVet(t)
+	out, err := exec.Command(vet, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	if !regexp.MustCompile(`^estima-vet version devel buildID=[0-9a-f]{64}\n$`).Match(out) {
+		t.Fatalf("unexpected -V=full output: %q", out)
+	}
+}
+
+// TestFlagsHandshake checks the -flags JSON go vet uses to validate its
+// command line: every analyzer must be present as a boolean flag.
+func TestFlagsHandshake(t *testing.T) {
+	vet := buildVet(t)
+	out, err := exec.Command(vet, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	var flags []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(out, &flags); err != nil {
+		t.Fatalf("-flags output is not JSON: %v\n%s", err, out)
+	}
+	want := map[string]bool{"boundedspawn": false, "canonicalkey": false, "ctxflow": false, "determinism": false, "maporder": false}
+	for _, f := range flags {
+		if _, ok := want[f.Name]; ok {
+			want[f.Name] = true
+			if !f.Bool {
+				t.Errorf("flag -%s not boolean", f.Name)
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("analyzer %s missing from -flags", name)
+		}
+	}
+}

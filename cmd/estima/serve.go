@@ -52,6 +52,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	case <-ctx.Done():
 	}
 	fmt.Printf("estima serve draining in-flight requests (up to %s)...\n", *drain)
+	//estima:allow ctxflow the drain deadline must outlive the already-cancelled serve ctx
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {

@@ -8,9 +8,9 @@ import (
 	"fmt"
 	"log"
 	"runtime"
-	"sync"
 
 	"repro/internal/counters"
+	"repro/internal/pool"
 	"repro/internal/stm"
 )
 
@@ -23,34 +23,28 @@ func main() {
 
 	// A contended counter plus distributed updates: enough conflicts to
 	// produce a real aborted-cycles statistic.
-	var wg sync.WaitGroup
-	for g := 0; g < workers; g++ {
-		wg.Add(1)
-		go func(seed int) {
-			defer wg.Done()
-			for i := 0; i < 3000; i++ {
-				err := space.Atomically(func(tx *stm.Tx) error {
-					v, err := tx.Read(0) // hot slot
-					if err != nil {
-						return err
-					}
-					if err := tx.Write(0, v+1); err != nil {
-						return err
-					}
-					slot := 1 + (seed*3001+i)%4000
-					w, err := tx.Read(slot)
-					if err != nil {
-						return err
-					}
-					return tx.Write(slot, w+1)
-				}, 0)
+	pool.ForN(workers, workers, func(seed int) {
+		for i := 0; i < 3000; i++ {
+			err := space.Atomically(func(tx *stm.Tx) error {
+				v, err := tx.Read(0) // hot slot
 				if err != nil {
-					log.Fatal(err)
+					return err
 				}
+				if err := tx.Write(0, v+1); err != nil {
+					return err
+				}
+				slot := 1 + (seed*3001+i)%4000
+				w, err := tx.Read(slot)
+				if err != nil {
+					return err
+				}
+				return tx.Write(slot, w+1)
+			}, 0)
+			if err != nil {
+				log.Fatal(err)
 			}
-		}(g)
-	}
-	wg.Wait()
+		}
+	})
 
 	fmt.Printf("final counter: %d (expected %d)\n", space.ReadSlot(0), workers*3000)
 	report := space.Report()

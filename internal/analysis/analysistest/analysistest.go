@@ -1,0 +1,244 @@
+// Package analysistest runs an analyzer over GOPATH-style testdata
+// packages and checks its diagnostics against `// want` comments, in the
+// manner of golang.org/x/tools/go/analysis/analysistest (which the
+// zero-dependency rule keeps out of this repo).
+//
+// Layout: <testdata>/src/<pkg>/*.go. A testdata package may import the
+// standard library (resolved through the toolchain's export data) and
+// sibling testdata packages (type-checked from source).
+//
+// Expectations: a line producing diagnostics carries a trailing comment
+//
+//	// want "regexp" `regexp`
+//
+// with one token per expected diagnostic on that line. Diagnostics are
+// filtered through the same //estima:allow suppression the real driver
+// applies, so allowlist-annotation cases are testable.
+//
+// RunWithSuggestedFixes additionally applies every reported fix and
+// compares the result against a <file>.golden sibling.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/estimavet"
+	"repro/internal/analysis/load"
+)
+
+// Run loads each testdata package, runs the analyzer, and reports any
+// mismatch between diagnostics and // want expectations as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	run(t, testdata, a, false, pkgs...)
+}
+
+// RunWithSuggestedFixes is Run plus golden-file checking of suggested
+// fixes.
+func RunWithSuggestedFixes(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	run(t, testdata, a, true, pkgs...)
+}
+
+func run(t *testing.T, testdata string, a *analysis.Analyzer, fixes bool, pkgs ...string) {
+	t.Helper()
+	ld := &loader{root: filepath.Join(testdata, "src"), fset: token.NewFileSet(), done: map[string]*load.Package{}}
+	for _, name := range pkgs {
+		pkg, err := ld.load(name)
+		if err != nil {
+			t.Fatalf("loading testdata package %s: %v", name, err)
+		}
+		diags, err := estimavet.Run([]*analysis.Analyzer{a}, ld.fset, pkg.Files, pkg.Types, pkg.TypesInfo)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, name, err)
+		}
+		checkWants(t, ld.fset, pkg.Files, diags)
+		if fixes {
+			checkFixes(t, ld.fset, pkg, diags)
+		}
+	}
+}
+
+// loader type-checks testdata packages, resolving sibling testdata imports
+// from source and everything else through toolchain export data.
+type loader struct {
+	root string
+	fset *token.FileSet
+	done map[string]*load.Package
+}
+
+func (ld *loader) load(name string) (*load.Package, error) {
+	if pkg, ok := ld.done[name]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ld.root, name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), ".golden") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	files, err := load.ParseFiles(ld.fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve imports: siblings from source first (so they land in the
+	// source map), the rest through export data.
+	source := map[string]*types.Package{}
+	var std []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if _, err := os.Stat(filepath.Join(ld.root, path)); err == nil {
+				sib, err := ld.load(path)
+				if err != nil {
+					return nil, fmt.Errorf("sibling %s: %w", path, err)
+				}
+				source[path] = sib.Types
+			} else {
+				std = append(std, path)
+			}
+		}
+	}
+	exports, err := load.StdExports(std)
+	if err != nil {
+		return nil, err
+	}
+	imp := load.NewImporter(ld.fset, exports, nil, source)
+	tpkg, info, err := load.Check(name, ld.fset, files, imp)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &load.Package{ImportPath: name, Dir: dir, Fset: ld.fset, Files: files, Types: tpkg, TypesInfo: info}
+	ld.done[name] = pkg
+	return pkg, nil
+}
+
+var wantRe = regexp.MustCompile(`(?:"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`" + `)`)
+
+// checkWants matches diagnostics against // want comments line by line.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
+					lit := m[1]
+					if m[2] != "" {
+						// Backquoted tokens are raw regexps.
+						lit = m[2]
+					} else {
+						var err error
+						lit, err = strconv.Unquote(`"` + lit + `"`)
+						if err != nil {
+							t.Errorf("%s: bad want token %q: %v", p, m[0], err)
+							continue
+						}
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", p, lit, err)
+						continue
+					}
+					wants[key{p.Filename, p.Line}] = append(wants[key{p.Filename, p.Line}], re)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		k := key{p.Filename, p.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re != nil && re.MatchString(d.Message) {
+				wants[k][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", p, d.Message)
+		}
+	}
+	var keys []key
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, re := range wants[k] {
+			if re != nil {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// checkFixes applies every suggested fix and compares each edited file with
+// its .golden sibling (files without one are skipped).
+func checkFixes(t *testing.T, fset *token.FileSet, pkg *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	edits := map[string][]analysis.TextEdit{} // filename -> edits
+	for _, d := range diags {
+		for _, fix := range d.SuggestedFixes {
+			for _, e := range fix.TextEdits {
+				name := fset.Position(e.Pos).Filename
+				edits[name] = append(edits[name], e)
+			}
+		}
+	}
+	for name, es := range edits {
+		golden := name + ".golden"
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			continue
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(es, func(i, j int) bool { return es[i].Pos > es[j].Pos })
+		for _, e := range es {
+			start := fset.Position(e.Pos).Offset
+			end := start
+			if e.End.IsValid() {
+				end = fset.Position(e.End).Offset
+			}
+			src = append(src[:start:start], append([]byte(e.NewText), src[end:]...)...)
+		}
+		if string(src) != string(want) {
+			t.Errorf("suggested fixes on %s do not match %s:\n-- got --\n%s\n-- want --\n%s", name, golden, src, want)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package boundedspawn flags `go` statements inside loops that are not
+// guarded by a recognized bounded-concurrency idiom. One goroutine per work
+// item is how a sweep over a large grid turns into tens of thousands of
+// runnable goroutines; the service keeps spawn width bounded everywhere via
+// worker pools and semaphores, and this analyzer keeps it that way.
+//
+// Recognized bounded idioms:
+//
+//   - the loop bound is a compile-time constant (`for i := 0; i < 4; i++`):
+//     spawning a fixed number of goroutines is a pool, not a leak;
+//   - pool workers: the goroutine body ranges over a channel, so the loop
+//     counts workers while the channel carries the unbounded work;
+//   - in-goroutine acquire: a channel send (plain or in a select) within
+//     the goroutine's first statements, i.e. a semaphore gate like
+//     `sem <- struct{}{}` before any work;
+//   - acquire-before-spawn: a channel send in the loop body before the go
+//     statement.
+//
+// Anything else needs an //estima:allow boundedspawn with a reason.
+package boundedspawn
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "boundedspawn",
+	Doc: "flag go statements in loops without a bounded-pool idiom " +
+		"(constant-bound loop, channel-ranging worker, or semaphore acquire)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			walk(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// walk scans loop-free territory: it descends until it meets a loop (whose
+// body walkLoop scans with the loop as spawn context) or a function literal
+// (a fresh frame).
+func walk(pass *analysis.Pass, n ast.Node) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.ForStmt:
+			walkLoop(pass, m, m.Body)
+			return false
+		case *ast.RangeStmt:
+			walkLoop(pass, m, m.Body)
+			return false
+		case *ast.FuncLit:
+			walk(pass, m.Body)
+			return false
+		}
+		return true
+	})
+}
+
+func walkLoop(pass *analysis.Pass, loop ast.Stmt, body *ast.BlockStmt) {
+	ast.Inspect(body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.ForStmt:
+			walkLoop(pass, m, m.Body)
+			return false
+		case *ast.RangeStmt:
+			walkLoop(pass, m, m.Body)
+			return false
+		case *ast.FuncLit:
+			walk(pass, m.Body)
+			return false
+		case *ast.GoStmt:
+			checkSpawn(pass, m, loop)
+			if lit, ok := m.Call.Fun.(*ast.FuncLit); ok {
+				walk(pass, lit.Body)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func checkSpawn(pass *analysis.Pass, g *ast.GoStmt, loop ast.Stmt) {
+	if constantBound(pass, loop) || acquireBeforeSpawn(pass, loop, g) {
+		return
+	}
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		if rangesOverChannel(pass, lit.Body) || acquiresEarly(lit.Body) {
+			return
+		}
+	}
+	pass.ReportRangef(g, "goroutine per loop iteration without a bounded-pool idiom (worker pool, semaphore, or constant bound); //estima:allow boundedspawn with a reason to waive")
+}
+
+// constantBound recognizes `for i := ...; i < N; ...` where N is a
+// compile-time constant.
+func constantBound(pass *analysis.Pass, loop ast.Stmt) bool {
+	f, ok := loop.(*ast.ForStmt)
+	if !ok || f.Cond == nil {
+		return false
+	}
+	cond, ok := f.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	for _, side := range []ast.Expr{cond.X, cond.Y} {
+		if tv, ok := pass.TypesInfo.Types[side]; ok && tv.Value != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// acquireBeforeSpawn looks for a channel send in the loop body positioned
+// before the go statement.
+func acquireBeforeSpawn(pass *analysis.Pass, loop ast.Stmt, g *ast.GoStmt) bool {
+	var body *ast.BlockStmt
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		body = l.Body
+	case *ast.RangeStmt:
+		body = l.Body
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil || found {
+			return false
+		}
+		if n.Pos() >= g.Pos() {
+			return false
+		}
+		if _, ok := n.(*ast.SendStmt); ok {
+			found = true
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// rangesOverChannel reports whether the body contains a range over a
+// channel — the worker half of a pool.
+func rangesOverChannel(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if rng, ok := n.(*ast.RangeStmt); ok {
+			if t := pass.TypesInfo.TypeOf(rng.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// acquiresEarly reports a semaphore acquire — a channel send, plain or as a
+// select case — within the goroutine's first three statements (leaving room
+// for the customary `defer wg.Done()`).
+func acquiresEarly(body *ast.BlockStmt) bool {
+	limit := min(3, len(body.List))
+	for _, stmt := range body.List[:limit] {
+		switch s := stmt.(type) {
+		case *ast.SendStmt:
+			return true
+		case *ast.SelectStmt:
+			for _, clause := range s.Body.List {
+				if comm, ok := clause.(*ast.CommClause); ok {
+					if _, ok := comm.Comm.(*ast.SendStmt); ok {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}

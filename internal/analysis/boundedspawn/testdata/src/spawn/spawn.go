@@ -1,0 +1,79 @@
+package spawn
+
+import "sync"
+
+func PerItem(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() { // want `goroutine per loop iteration without a bounded-pool idiom`
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func ConstBound() {
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() { done <- struct{}{} }()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+}
+
+func PoolWorkers(n int, work chan int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func SemInside(items []int, sem chan struct{}) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+		}()
+	}
+	wg.Wait()
+}
+
+func SemBefore(items []int, sem chan struct{}) {
+	for range items {
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem }()
+		}()
+	}
+}
+
+func NamedFunc(items []int, f func(int)) {
+	for i := range items {
+		go f(i) // want `goroutine per loop iteration without a bounded-pool idiom`
+	}
+}
+
+func Nested(outer [][]int) {
+	for _, inner := range outer {
+		for range inner {
+			go func() {}() // want `goroutine per loop iteration without a bounded-pool idiom`
+		}
+	}
+}
+
+func Allowed(items []int) {
+	for range items {
+		go func() {}() //estima:allow boundedspawn fixture: items is tiny by construction
+	}
+}

@@ -1,0 +1,12 @@
+package canonicalkey_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/canonicalkey"
+)
+
+func TestCanonicalKey(t *testing.T) {
+	analysistest.Run(t, "testdata", canonicalkey.Analyzer, "ckey")
+}

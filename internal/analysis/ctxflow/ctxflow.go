@@ -1,0 +1,149 @@
+// Package ctxflow enforces context plumbing: code that already has a
+// context.Context in scope must not mint a fresh root with
+// context.Background() or context.TODO() — that silently detaches
+// cancellation and deadlines from the caller — and exported functions that
+// launch goroutines must accept a context so callers can bound the work.
+// _test.go files are exempt (tests legitimately create root contexts).
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "flag context.Background()/TODO() where a ctx parameter is in scope, " +
+		"and exported goroutine-launching functions without a context parameter",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkExportedSpawn(pass, fd)
+			checkFreshRoots(pass, fd)
+		}
+	}
+	return nil
+}
+
+// contextParams returns the names of context.Context-typed parameters of a
+// function type.
+func contextParams(pass *analysis.Pass, ft *ast.FuncType) []string {
+	var out []string
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil || !isContext(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				out = append(out, name.Name)
+			}
+		}
+	}
+	return out
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// checkFreshRoots walks the declaration keeping the innermost visible ctx
+// parameter (function literals nest scopes), flagging Background/TODO calls
+// made while one is visible.
+func checkFreshRoots(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var walk func(n ast.Node, visible []string)
+	walk = func(n ast.Node, visible []string) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				inner := visible
+				if ps := contextParams(pass, m.Type); len(ps) > 0 {
+					inner = ps
+				}
+				walk(m.Body, inner)
+				return false
+			case *ast.CallExpr:
+				if len(visible) == 0 {
+					return true
+				}
+				name, ok := contextRoot(pass, m)
+				if !ok {
+					return true
+				}
+				pass.Report(analysis.Diagnostic{
+					Pos: m.Pos(), End: m.End(),
+					Message: "context." + name + "() detaches from the " + visible[len(visible)-1] + " already in scope",
+					SuggestedFixes: []analysis.SuggestedFix{{
+						Message:   "use " + visible[len(visible)-1],
+						TextEdits: []analysis.TextEdit{{Pos: m.Pos(), End: m.End(), NewText: []byte(visible[len(visible)-1])}},
+					}},
+				})
+			}
+			return true
+		})
+	}
+	visible := contextParams(pass, fd.Type)
+	walk(fd.Body, visible)
+}
+
+// contextRoot matches context.Background() / context.TODO() calls.
+func contextRoot(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkg, ok := pass.TypesInfo.Uses[x].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "context" {
+		return "", false
+	}
+	if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// checkExportedSpawn flags exported functions that contain a go statement
+// anywhere in their body but accept no context.Context.
+func checkExportedSpawn(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() {
+		return
+	}
+	if len(contextParams(pass, fd.Type)) > 0 {
+		return
+	}
+	spawns := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			spawns = true
+			return false
+		}
+		return !spawns
+	})
+	if spawns {
+		pass.ReportRangef(fd.Name, "exported %s launches goroutines but accepts no context.Context", fd.Name.Name)
+	}
+}

@@ -1,0 +1,44 @@
+package ctx
+
+import "context"
+
+func Fresh(ctx context.Context) error {
+	c := context.Background() // want `context\.Background\(\) detaches from the ctx already in scope`
+	return c.Err()
+}
+
+func Root() context.Context {
+	return context.Background()
+}
+
+func Nested(ctx context.Context) func() error {
+	return func() error {
+		c := context.TODO() // want `context\.TODO\(\) detaches from the ctx already in scope`
+		return c.Err()
+	}
+}
+
+func Shadowed(outer context.Context) func(context.Context) error {
+	return func(inner context.Context) error {
+		c := context.Background() // want `context\.Background\(\) detaches from the inner already in scope`
+		return c.Err()
+	}
+}
+
+func Spawner() { // want `exported Spawner launches goroutines but accepts no context\.Context`
+	go func() {}()
+}
+
+func SpawnerCtx(ctx context.Context) {
+	_ = ctx
+	go func() {}()
+}
+
+func quietSpawner() {
+	go func() {}()
+}
+
+func AllowedDetach(ctx context.Context) error {
+	c := context.Background() //estima:allow ctxflow fixture: drain must outlive ctx
+	return c.Err()
+}

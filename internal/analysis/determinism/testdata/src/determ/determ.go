@@ -1,0 +1,49 @@
+package determ
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Clock() int64 {
+	t := time.Now()    // want `call to time\.Now in deterministic code`
+	d := time.Since(t) // want `call to time\.Since in deterministic code`
+	return int64(d)
+}
+
+func GlobalRand() int {
+	return rand.Intn(8) // want `global rand\.Intn draws from a shared unseeded stream`
+}
+
+func SeededNew() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+func UnseededNew(src rand.Source) *rand.Rand {
+	return rand.New(src) // want `rand\.New without an explicitly seeded source`
+}
+
+func RacySelect(a, b chan int) (x int) {
+	select { // want `select binds results from 2 channels`
+	case x = <-a:
+	case x = <-b:
+	}
+	return x
+}
+
+func CancelSelect(a chan int, done chan struct{}) (x int) {
+	select {
+	case x = <-a:
+	case <-done:
+	}
+	return x
+}
+
+func Allowed() int64 {
+	return time.Now().UnixNano() //estima:allow determinism fixture for the allow directive
+}
+
+func AllowedAbove() int64 {
+	//estima:allow determinism fixture for the comment-above form
+	return time.Now().UnixNano()
+}

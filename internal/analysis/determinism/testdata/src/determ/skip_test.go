@@ -1,0 +1,8 @@
+package determ
+
+import "time"
+
+// Test files are exempt: no diagnostics expected here.
+func stamp() int64 {
+	return time.Now().UnixNano()
+}

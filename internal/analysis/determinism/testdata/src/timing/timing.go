@@ -1,0 +1,11 @@
+//estima:timing this package's job is measuring wall-clock time
+package timing
+
+import "time"
+
+// The package-level timing directive waives the whole package.
+func Elapsed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directives is the parsed //estima: annotation index of one package. See
+// the package documentation for the directive grammar.
+type Directives struct {
+	// Timing reports a package-level //estima:timing directive: the
+	// package measures wall-clock time as its job, so determinism checks
+	// do not apply.
+	Timing bool
+	// allow maps filename -> line -> the set of analyzer names allowed
+	// (suppressed) by an //estima:allow directive written on that line.
+	allow map[string]map[int]map[string]bool
+	// Malformed holds the positions of //estima: comments that match no
+	// known directive form, so drivers can reject typos loudly instead of
+	// silently not enforcing anything.
+	Malformed []token.Pos
+}
+
+// ParseDirectives scans every comment of the files for //estima:
+// directives. An //estima: prefix that matches no known form lands in
+// Malformed so the driver can reject it rather than silently ignore a typo.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{allow: map[string]map[int]map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//estima:")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					d.Malformed = append(d.Malformed, c.Pos())
+					continue
+				}
+				switch fields[0] {
+				case "timing":
+					d.Timing = true
+				case "allow":
+					if len(fields) < 2 {
+						d.Malformed = append(d.Malformed, c.Pos())
+						continue
+					}
+					d.recordAllow(fset, c.Pos(), fields[1])
+				case "canonical":
+					// Read in place from FuncDecl docs; see CanonicalParams.
+					if len(fields) < 2 {
+						d.Malformed = append(d.Malformed, c.Pos())
+					}
+				default:
+					d.Malformed = append(d.Malformed, c.Pos())
+				}
+			}
+		}
+	}
+	return d
+}
+
+func (d *Directives) recordAllow(fset *token.FileSet, pos token.Pos, analyzer string) {
+	p := fset.Position(pos)
+	byLine := d.allow[p.Filename]
+	if byLine == nil {
+		byLine = map[int]map[string]bool{}
+		d.allow[p.Filename] = byLine
+	}
+	set := byLine[p.Line]
+	if set == nil {
+		set = map[string]bool{}
+		byLine[p.Line] = set
+	}
+	set[analyzer] = true
+}
+
+// Allowed reports whether a diagnostic of the named analyzer at pos is
+// suppressed: an //estima:allow <analyzer> comment sits on the same line
+// (trailing comment) or on the line immediately above.
+func (d *Directives) Allowed(fset *token.FileSet, pos token.Pos, analyzer string) bool {
+	p := fset.Position(pos)
+	byLine := d.allow[p.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[p.Line][analyzer] || byLine[p.Line-1][analyzer]
+}
+
+// CanonicalParams returns the parameter names declared canonical-identity
+// sinks by an //estima:canonical directive in the function's doc comment,
+// or nil.
+func CanonicalParams(decl *ast.FuncDecl) []string {
+	if decl == nil || decl.Doc == nil {
+		return nil
+	}
+	for _, c := range decl.Doc.List {
+		text, ok := strings.CutPrefix(c.Text, "//estima:canonical")
+		if !ok {
+			continue
+		}
+		return strings.Fields(text)
+	}
+	return nil
+}
+
+// IsTestFile reports whether pos lies in a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,69 @@
+// Package estimavet bundles the repository's analyzer suite and the shared
+// run-one-package logic used by both the cmd/estima-vet driver (standalone
+// and `go vet -vettool` modes) and the analysistest harness: run the
+// enabled analyzers over a type-checked package, drop diagnostics waived by
+// //estima:allow directives, surface malformed directives, and return
+// everything in stable position order.
+package estimavet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/boundedspawn"
+	"repro/internal/analysis/canonicalkey"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/maporder"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		boundedspawn.Analyzer,
+		canonicalkey.Analyzer,
+		ctxflow.Analyzer,
+		determinism.Analyzer,
+		maporder.Analyzer,
+	}
+}
+
+// Run applies the analyzers to one type-checked package and returns the
+// surviving diagnostics sorted by position. Analyzer run errors (broken
+// invariants, not findings) come back in err.
+func Run(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]analysis.Diagnostic, error) {
+	dirs := analysis.ParseDirectives(fset, files)
+	var diags []analysis.Diagnostic
+	for _, pos := range dirs.Malformed {
+		diags = append(diags, analysis.Diagnostic{
+			Pos: pos, Category: "estima-directive",
+			Message: "malformed //estima: directive (want //estima:timing, //estima:allow <analyzer> [reason], or //estima:canonical <param>...)",
+		})
+	}
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			if d.Category == "" {
+				d.Category = a.Name
+			}
+			if dirs.Allowed(fset, d.Pos, d.Category) {
+				return
+			}
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

@@ -1,0 +1,224 @@
+// Package load turns Go package patterns into type-checked syntax trees
+// using only the standard toolchain: `go list -export` supplies the file
+// lists and the compiler's export data for every dependency, and the
+// stdlib gc importer (go/importer with a lookup function) consumes that
+// export data during type checking. It is the no-dependency stand-in for
+// golang.org/x/tools/go/packages that the estima-vet standalone driver and
+// the analysistest harness share.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listJSON is the subset of `go list -json` output the loader reads.
+type listJSON struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` over the patterns and returns
+// the decoded package stream.
+func goList(dir string, patterns []string) ([]listJSON, error) {
+	args := append([]string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []listJSON
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listJSON
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding: %v", patterns, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// NewImporter returns a types importer that resolves import paths through
+// importMap (nil for identity), then through source (already type-checked
+// packages, consulted first), then through gc export data files named by
+// exports.
+func NewImporter(fset *token.FileSet, exports map[string]string, importMap map[string]string, source map[string]*types.Package) types.ImporterFrom {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &mappedImporter{
+		gc:        importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom),
+		importMap: importMap,
+		source:    source,
+	}
+}
+
+type mappedImporter struct {
+	gc        types.ImporterFrom
+	importMap map[string]string
+	source    map[string]*types.Package
+}
+
+func (im *mappedImporter) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, "", 0)
+}
+
+func (im *mappedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if mapped, ok := im.importMap[path]; ok {
+		path = mapped
+	}
+	if p, ok := im.source[path]; ok {
+		return p, nil
+	}
+	return im.gc.ImportFrom(path, dir, 0)
+}
+
+// Check parses no files itself: it type-checks the given parsed files as
+// package path using imp for imports, returning the package and full type
+// info.
+func Check(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// ParseFiles parses the named files (absolute or dir-relative) with
+// comments into fset.
+func ParseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Load lists the patterns (relative to dir; "" for the current directory),
+// then parses and type-checks every matched (non-dependency) package,
+// resolving all imports through the toolchain's export data.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, exports, nil, nil)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		files, err := ParseFiles(fset, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		tpkg, info, err := Check(p.ImportPath, fset, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("typechecking %s: %v", p.ImportPath, err)
+		}
+		out = append(out, &Package{
+			ImportPath: p.ImportPath, Dir: p.Dir,
+			Fset: fset, Files: files, Types: tpkg, TypesInfo: info,
+		})
+	}
+	return out, nil
+}
+
+var (
+	stdExportsMu sync.Mutex
+	stdExports   = map[string]string{}
+)
+
+// StdExports returns export-data file paths for the given standard-library
+// import paths (plus their dependencies), caching results per process. The
+// analysistest harness uses it to resolve testdata imports without a
+// surrounding module.
+func StdExports(paths []string) (map[string]string, error) {
+	stdExportsMu.Lock()
+	defer stdExportsMu.Unlock()
+	var missing []string
+	for _, p := range paths {
+		if _, ok := stdExports[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		listed, err := goList("", missing)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				stdExports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	out := make(map[string]string, len(stdExports))
+	for k, v := range stdExports {
+		out[k] = v
+	}
+	return out, nil
+}

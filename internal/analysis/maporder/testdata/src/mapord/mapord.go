@@ -1,0 +1,71 @@
+package mapord
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func Emit(m map[string]int, w *strings.Builder) {
+	for k := range m {
+		w.WriteString(k) // want `WriteString call inside range over map`
+	}
+}
+
+func Printed(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf inside range over map`
+	}
+}
+
+func CollectedThenSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func SortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func Unsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `keys collects in map-iteration order and is never sorted`
+	}
+	return keys
+}
+
+func LoopLocal(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		vals := []int{}
+		vals = append(vals, v)
+		n += len(vals)
+	}
+	return n
+}
+
+func MapToMap(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func Allowed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //estima:allow maporder fixture: caller sorts
+	}
+	return keys
+}

@@ -2,10 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/pool"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -57,25 +57,20 @@ func table4(e *env) (*Result, error) {
 		err     error
 	}
 	rows := make([]rowResult, len(names))
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			ob, err := table4Row(e, name, opteron, 12, opteronBands)
-			if err != nil {
-				rows[i].err = err
-				return
-			}
-			xb, err := table4Row(e, name, xeon, 10, xeonBands)
-			if err != nil {
-				rows[i].err = err
-				return
-			}
-			rows[i] = rowResult{opteron: ob, xeon: xb}
-		}(i, name)
-	}
-	wg.Wait()
+	pool.ForN(len(names), 0, func(i int) {
+		name := names[i]
+		ob, err := table4Row(e, name, opteron, 12, opteronBands)
+		if err != nil {
+			rows[i].err = err
+			return
+		}
+		xb, err := table4Row(e, name, xeon, 10, xeonBands)
+		if err != nil {
+			rows[i].err = err
+			return
+		}
+		rows[i] = rowResult{opteron: ob, xeon: xb}
+	})
 
 	tbl := &report.Table{
 		Title:   "max prediction errors (%), measured on one processor of each machine",
@@ -150,22 +145,17 @@ func table5(e *env) (*Result, error) {
 		err  error
 	}
 	rows := make([]res, len(names))
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			for mi, m := range machines {
-				v, err := correlationOf(e, name, m, false)
-				if err != nil {
-					rows[i].err = err
-					return
-				}
-				rows[i].vals[mi] = v
+	pool.ForN(len(names), 0, func(i int) {
+		name := names[i]
+		for mi, m := range machines {
+			v, err := correlationOf(e, name, m, false)
+			if err != nil {
+				rows[i].err = err
+				return
 			}
-		}(i, name)
-	}
-	wg.Wait()
+			rows[i].vals[mi] = v
+		}
+	})
 	for i, name := range names {
 		if rows[i].err != nil {
 			return nil, rows[i].err
@@ -201,27 +191,22 @@ func table6(e *env) (*Result, error) {
 		err  error
 	}
 	rows := make([]res, len(names))
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			for mi, m := range machines {
-				base, err := correlationOf(e, name, m, false)
-				if err != nil {
-					rows[i].err = err
-					return
-				}
-				withFE, err := correlationOf(e, name, m, true)
-				if err != nil {
-					rows[i].err = err
-					return
-				}
-				rows[i].vals[mi] = 100 * (withFE - base) / base
+	pool.ForN(len(names), 0, func(i int) {
+		name := names[i]
+		for mi, m := range machines {
+			base, err := correlationOf(e, name, m, false)
+			if err != nil {
+				rows[i].err = err
+				return
 			}
-		}(i, name)
-	}
-	wg.Wait()
+			withFE, err := correlationOf(e, name, m, true)
+			if err != nil {
+				rows[i].err = err
+				return
+			}
+			rows[i].vals[mi] = 100 * (withFE - base) / base
+		}
+	})
 	for i, name := range names {
 		if rows[i].err != nil {
 			return nil, rows[i].err
@@ -255,43 +240,38 @@ func table7(e *env) (*Result, error) {
 		err      error
 	}
 	rows := make([]res, len(names))
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			// Column 1: the Table 4 scenario.
-			bands, err := table4Row(e, name, x20, 10,
-				[]core.ErrorBand{{Label: "2 CPUs", MinCores: 10, MaxCores: 20}})
-			if err != nil {
-				rows[i].err = err
-				return
-			}
-			rows[i].x20 = bands[0].MaxPctError
-			// Column 2: both Xeon20 sockets measured, Xeon48 targeted.
-			act, err := e.series(name, x48, x48.NumCores(), 1)
-			if err != nil {
-				rows[i].err = err
-				return
-			}
-			targets := coresFrom(x20.NumCores(), x48.NumCores())
-			pred, err := e.predict(name, x20, x20.NumCores(), 1, targets, core.Options{
-				UseSoftware: usesSoftwareStalls(name),
-				FreqRatio:   freqRatio,
-			})
-			if err != nil {
-				rows[i].err = err
-				return
-			}
-			maxPct, _, err := pred.Errors(act)
-			if err != nil {
-				rows[i].err = err
-				return
-			}
-			rows[i].x48 = maxPct
-		}(i, name)
-	}
-	wg.Wait()
+	pool.ForN(len(names), 0, func(i int) {
+		name := names[i]
+		// Column 1: the Table 4 scenario.
+		bands, err := table4Row(e, name, x20, 10,
+			[]core.ErrorBand{{Label: "2 CPUs", MinCores: 10, MaxCores: 20}})
+		if err != nil {
+			rows[i].err = err
+			return
+		}
+		rows[i].x20 = bands[0].MaxPctError
+		// Column 2: both Xeon20 sockets measured, Xeon48 targeted.
+		act, err := e.series(name, x48, x48.NumCores(), 1)
+		if err != nil {
+			rows[i].err = err
+			return
+		}
+		targets := coresFrom(x20.NumCores(), x48.NumCores())
+		pred, err := e.predict(name, x20, x20.NumCores(), 1, targets, core.Options{
+			UseSoftware: usesSoftwareStalls(name),
+			FreqRatio:   freqRatio,
+		})
+		if err != nil {
+			rows[i].err = err
+			return
+		}
+		maxPct, _, err := pred.Errors(act)
+		if err != nil {
+			rows[i].err = err
+			return
+		}
+		rows[i].x48 = maxPct
+	})
 	var c20, c48 []float64
 	for i, name := range names {
 		if rows[i].err != nil {

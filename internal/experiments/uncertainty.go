@@ -2,10 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/pool"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -39,59 +39,54 @@ func uncertainty(e *env) (*Result, error) {
 		err      error
 	}
 	rows := make([]row, len(names))
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			full, err := e.series(name, m, m.NumCores(), 1)
-			if err != nil {
-				rows[i].err = err
-				return
-			}
-			targets := coresFrom(12, m.NumCores())
-			// The service CPU gate bounds the fitting and bootstrap work;
-			// Workers: 1 keeps each prediction from opening a second
-			// NumCPU-wide pool inside it.
-			pred, err := e.predict(name, m, 12, 1, targets, core.Options{
-				UseSoftware: usesSoftwareStalls(name),
-				Bootstrap:   uncertaintyBoot,
-				Workers:     1,
-			})
-			if err != nil {
-				rows[i].err = err
-				return
-			}
-			if rows[i].maxPct, _, err = pred.Errors(full); err != nil {
-				rows[i].err = err
-				return
-			}
-			widths := make([]float64, len(pred.TargetCores))
-			covered, total := 0, 0
-			for ti, c := range pred.TargetCores {
-				widths[ti] = 100 * (pred.TimeHi[ti] - pred.TimeLo[ti]) / pred.Time[ti]
-				for _, smp := range full.Samples {
-					if smp.Cores == int(c) {
-						total++
-						if smp.Seconds >= pred.TimeLo[ti] && smp.Seconds <= pred.TimeHi[ti] {
-							covered++
-						}
+	pool.ForN(len(names), 0, func(i int) {
+		name := names[i]
+		full, err := e.series(name, m, m.NumCores(), 1)
+		if err != nil {
+			rows[i].err = err
+			return
+		}
+		targets := coresFrom(12, m.NumCores())
+		// The service CPU gate bounds the fitting and bootstrap work;
+		// Workers: 1 keeps each prediction from opening a second
+		// NumCPU-wide pool inside it.
+		pred, err := e.predict(name, m, 12, 1, targets, core.Options{
+			UseSoftware: usesSoftwareStalls(name),
+			Bootstrap:   uncertaintyBoot,
+			Workers:     1,
+		})
+		if err != nil {
+			rows[i].err = err
+			return
+		}
+		if rows[i].maxPct, _, err = pred.Errors(full); err != nil {
+			rows[i].err = err
+			return
+		}
+		widths := make([]float64, len(pred.TargetCores))
+		covered, total := 0, 0
+		for ti, c := range pred.TargetCores {
+			widths[ti] = 100 * (pred.TimeHi[ti] - pred.TimeLo[ti]) / pred.Time[ti]
+			for _, smp := range full.Samples {
+				if smp.Cores == int(c) {
+					total++
+					if smp.Seconds >= pred.TimeLo[ti] && smp.Seconds <= pred.TimeHi[ti] {
+						covered++
 					}
 				}
 			}
-			rows[i].width = stats.Mean(widths)
-			if total > 0 {
-				rows[i].coverage = 100 * float64(covered) / float64(total)
+		}
+		rows[i].width = stats.Mean(widths)
+		if total > 0 {
+			rows[i].coverage = 100 * float64(covered) / float64(total)
+		}
+		rows[i].minStab = 1
+		for _, s := range pred.Stability {
+			if s < rows[i].minStab {
+				rows[i].minStab = s
 			}
-			rows[i].minStab = 1
-			for _, s := range pred.Stability {
-				if s < rows[i].minStab {
-					rows[i].minStab = s
-				}
-			}
-		}(i, name)
-	}
-	wg.Wait()
+		}
+	})
 
 	tbl := &report.Table{
 		Title: fmt.Sprintf("prediction uncertainty on the Opteron (12 measured cores, %d bootstrap resamples, %g%% CI)",

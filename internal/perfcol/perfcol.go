@@ -5,6 +5,8 @@
 // the parser and event plumbing are fully testable (and usable) on machines
 // without PMU access — the simulator provides the default collector in this
 // repository, and perfcol is the drop-in for real hardware.
+//
+//estima:timing measures real executions under perf stat; wall-clock time is the measurement
 package perfcol
 
 import (

@@ -1,0 +1,58 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForNCoversEveryIndex(t *testing.T) {
+	const n = 57
+	hit := make([]int32, n)
+	ForN(n, 4, func(i int) { atomic.AddInt32(&hit[i], 1) })
+	for i, h := range hit {
+		if h != 1 {
+			t.Fatalf("index %d called %d times, want 1", i, h)
+		}
+	}
+}
+
+func TestForNBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var mu sync.Mutex
+	cur, peak := 0, 0
+	gate := make(chan struct{})
+	ForN(24, workers, func(i int) {
+		mu.Lock()
+		cur++
+		if cur > peak {
+			peak = cur
+		}
+		mu.Unlock()
+		// Rendezvous with one other worker so the pool provably runs
+		// concurrently, without timing assumptions.
+		if i < 2 {
+			gate <- struct{}{}
+		} else if i < 4 {
+			<-gate
+		}
+		mu.Lock()
+		cur--
+		mu.Unlock()
+	})
+	if peak > workers {
+		t.Fatalf("observed %d concurrent calls, want <= %d", peak, workers)
+	}
+	if peak < 2 {
+		t.Fatalf("observed no concurrency (peak %d) with %d workers", peak, workers)
+	}
+}
+
+func TestForNEdgeCases(t *testing.T) {
+	ForN(0, 4, func(i int) { t.Fatalf("fn called for n=0 (i=%d)", i) })
+	ran := false
+	ForN(1, 0, func(i int) { ran = true })
+	if !ran {
+		t.Fatal("fn not called for n=1, workers=0")
+	}
+}

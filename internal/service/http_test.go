@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/counters"
 	"repro/internal/machine"
+	"repro/internal/pool"
 	"repro/internal/sim"
 )
 
@@ -230,26 +231,20 @@ func TestLimiterBoundsInFlightRequests(t *testing.T) {
 	// Distinct workloads per request, so overlap would be visible as two
 	// distinct active workloads.
 	wls := []string{"intruder", "genome", "kmeans", "ssca2"}
-	var wg sync.WaitGroup
 	errs := make([]error, len(wls))
-	for i, wl := range wls {
-		wg.Add(1)
-		go func(i int, wl string) {
-			defer wg.Done()
-			body := fmt.Sprintf(`{"workload":%q,"machine":"Haswell","scale":0.05}`, wl)
-			resp, err := http.Post(srv.URL+"/v1/predict", "application/json", strings.NewReader(body))
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			defer resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				b, _ := io.ReadAll(resp.Body)
-				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, b)
-			}
-		}(i, wl)
-	}
-	wg.Wait()
+	pool.ForN(len(wls), len(wls), func(i int) {
+		body := fmt.Sprintf(`{"workload":%q,"machine":"Haswell","scale":0.05}`, wls[i])
+		resp, err := http.Post(srv.URL+"/v1/predict", "application/json", strings.NewReader(body))
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, b)
+		}
+	})
 	for i, err := range errs {
 		if err != nil {
 			t.Fatalf("request %d: %v", i, err)

@@ -134,6 +134,8 @@ func resolve(workload, mach string) (sim.Workload, *machine.Config, error) {
 }
 
 // seriesKey is the store (and memo) key of a contiguous 1..maxCores series.
+//
+//estima:canonical workload mach
 func seriesKey(workload, mach string, maxCores int, scale float64) store.Key {
 	return store.Key{Workload: workload, Machine: mach, MaxCores: maxCores,
 		Scale: scale, Engine: sim.EngineVersion}

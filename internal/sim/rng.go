@@ -41,7 +41,10 @@ func (r *rng) float() float64 {
 	return float64(r.next()>>11) / float64(1<<53)
 }
 
-// hashString folds a string into a 64-bit seed (FNV-1a).
+// hashString folds a string into a 64-bit seed (FNV-1a). Callers must pass
+// canonical spec names so the same scenario always seeds the same stream.
+//
+//estima:canonical s
 func hashString(s string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(s); i++ {

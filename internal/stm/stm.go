@@ -9,6 +9,8 @@
 // The unit of transactional memory is a slot in a Space: a []uint64 managed
 // by the runtime. Transactions read and write slots through a Tx and retry
 // automatically on conflict.
+//
+//estima:timing measures wall-clock nanoseconds as the paper's cycle statistic; retry backoff is intentionally randomized
 package stm
 
 import (
@@ -16,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync/atomic"
 	"time"
 )
@@ -246,7 +249,7 @@ func (tx *Tx) commit() error {
 	for idx := range stripes {
 		order = append(order, idx)
 	}
-	sortInts(order)
+	sort.Ints(order)
 	for _, idx := range order {
 		l := &tx.space.locks[idx]
 		v := l.Load()
@@ -304,12 +307,4 @@ func (s *Space) ReadSlot(slot int) uint64 {
 // WriteSlot writes a slot non-transactionally (setup use only).
 func (s *Space) WriteSlot(slot int, val uint64) {
 	atomic.StoreUint64(&s.slots[slot], val)
-}
-
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }

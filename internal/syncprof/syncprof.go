@@ -4,6 +4,8 @@
 // waiting. It is the repository's equivalent of the paper's "thin wrapper
 // around the pthread library" (§4.1, §5.3) that exposes software stalled
 // cycles for lock-based applications.
+//
+//estima:timing accounts the wall-clock nanoseconds callers spend waiting; that is its output
 package syncprof
 
 import (
