@@ -13,6 +13,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -21,7 +23,13 @@ import (
 	"repro/internal/service"
 )
 
+// main only converts run's status into an exit code: os.Exit skips deferred
+// functions, and the profile flags rely on defers to flush their files.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	exp := flag.String("exp", "all", "experiment id (fig1..fig16, table4..table7, ablation-*) or 'all'")
 	scale := flag.Float64("scale", 1, "dataset scale factor")
 	outDir := flag.String("out", "", "directory to write per-experiment .txt files (optional)")
@@ -29,22 +37,67 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	sweepBench := flag.Bool("sweepbench", false,
 		"measure a cold vs warm prediction sweep through the planner and write BENCH_sweep.json (to -out, or the working directory)")
+	simBench := flag.Bool("simbench", false,
+		"measure cold CollectSeries throughput of the simulation engine and write BENCH_sim.json (to -out, or the working directory)")
+	simMachine := flag.String("simmachine", "Xeon20", "machine preset the -simbench schedule runs on")
+	simBaseline := flag.Float64("simbaseline", 0,
+		"reference total seconds recorded in BENCH_sim.json as baseline_total_seconds (a prior engine's -simbench total on the same host)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "estima-bench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "estima-bench: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "estima-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap so the profile reflects retained allocation
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "estima-bench: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Printf("%-22s %s\n", id, experiments.Title(id))
 		}
-		return
+		return 0
 	}
 	if *sweepBench {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		if err := runSweepBench(ctx, *scale, *cacheDir, *outDir); err != nil {
 			fmt.Fprintf(os.Stderr, "estima-bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
+	}
+	if *simBench {
+		if err := runSimBench(*simMachine, *scale, *simBaseline, *outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "estima-bench: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	ids := experiments.IDs()
@@ -68,18 +121,19 @@ func main() {
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
 				fmt.Fprintf(os.Stderr, "estima-bench: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 			path := filepath.Join(*outDir, res.ID+".txt")
 			if err := os.WriteFile(path, []byte(header+res.Text), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "estima-bench: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // sweepBenchJSON is the BENCH_sweep.json schema: the planner's cold/warm

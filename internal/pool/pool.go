@@ -22,6 +22,17 @@ import (
 //
 //estima:allow ctxflow synchronous helper; all workers are joined before return
 func ForN(n, workers int, fn func(i int)) {
+	ForNWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForNWorker is ForN with the worker's own index passed alongside the item
+// index: fn(w, i) is called with 0 <= w < effective workers, and at most one
+// goroutine ever observes a given w. Callers use the worker index to keep
+// per-worker scratch state (a reusable simulator engine, a batch buffer)
+// without any synchronization.
+//
+//estima:allow ctxflow synchronous helper; all workers are joined before return
+func ForNWorker(n, workers int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -35,12 +46,12 @@ func ForN(n, workers int, fn func(i int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range idx {
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		idx <- i

@@ -1,0 +1,58 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// benchFamilies is the same engine-bench set estima-bench -simbench reports
+// on: one workload per distinct engine hot path.
+var benchFamilies = []string{
+	"memcached", "intruder", "kmeans", "streamcluster", "lock-based HT", "blackscholes",
+}
+
+// BenchmarkRun measures one full collection (build + simulate + sample) per
+// workload family at 8 cores on the Xeon20.
+func BenchmarkRun(b *testing.B) {
+	mach, err := machine.Lookup("Xeon20")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range benchFamilies {
+		w, err := workloads.Lookup(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Collect(w, mach, 8, 0.1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCollectSeries measures a cold series over the Xeon20's full 1..20
+// schedule — the unit of work every sweep and experiment is built from.
+func BenchmarkCollectSeries(b *testing.B) {
+	mach, err := machine.Lookup("Xeon20")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := workloads.Lookup("intruder")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cores := sim.CoreRange(mach.NumCores())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.CollectSeries(w, mach, cores, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

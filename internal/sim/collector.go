@@ -2,9 +2,13 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
 
 	"repro/internal/counters"
 	"repro/internal/machine"
+	"repro/internal/pool"
 )
 
 // EngineVersion identifies the simulator's measurement semantics. It is part
@@ -24,36 +28,125 @@ type Workload interface {
 	Build(b *Builder)
 }
 
-// Collect executes one measurement run: the workload on the machine with
-// the given number of cores and dataset scale. It is the simulated
-// equivalent of "run the application under perf stat once" and is
-// deterministic in all its arguments. The seed folds in both names — the
-// canonical spec strings of the resolved workload and machine — so every
-// parameterized variant measures as its own application rather than a
-// reshuffling of its family's default run.
-func Collect(w Workload, mach *machine.Config, cores int, scale float64) (counters.Sample, error) {
+// collectSeed derives the deterministic seed of one run. It folds in both
+// names — the canonical spec strings of the resolved workload and machine —
+// so every parameterized variant measures as its own application rather
+// than a reshuffling of its family's default run.
+func collectSeed(w Workload, mach *machine.Config, cores int, scale float64) uint64 {
+	return hashString(w.Name()) ^ hashString(mach.Name) ^ (uint64(cores) * 0x9e3779b97f4a7c15) ^ uint64(scale*1000)
+}
+
+// collectState is the reusable per-worker state of a series collection: one
+// engine plus the program buffers of the previous run. Reusing it makes
+// every run after a worker's first allocation-free in the simulation loop.
+type collectState struct {
+	eng   Engine
+	progs []Program
+	// entries is the total op count of the worker's previous run; the next
+	// run presizes its per-thread buffers from it (total work is roughly
+	// constant across core counts, only the split changes).
+	entries int
+}
+
+func (st *collectState) collect(w Workload, mach *machine.Config, cores int, scale float64) (counters.Sample, error) {
 	if cores < 1 || cores > mach.NumCores() {
 		return counters.Sample{}, fmt.Errorf("sim: %d cores out of range for %s (max %d)", cores, mach.Name, mach.NumCores())
 	}
-	seed := hashString(w.Name()) ^ hashString(mach.Name) ^ (uint64(cores) * 0x9e3779b97f4a7c15) ^ uint64(scale*1000)
-	b := NewBuilder(mach, cores, scale, seed)
+	b := NewBuilder(mach, cores, scale, collectSeed(w, mach, cores, scale))
+	st.progs = b.recycleProgs(st.progs, st.entries/cores)
 	w.Build(b)
-	return Run(b), nil
+	st.entries = 0
+	for _, p := range b.progs {
+		st.entries += len(p)
+	}
+	st.eng.reset(b)
+	st.eng.run()
+	return st.eng.sample(), nil
+}
+
+// statePool recycles collection state — engines with their cache arrays and
+// directory pages, and program buffers — across Collect/CollectSeries calls.
+// An engine is fully re-initialized by reset, so reuse cannot leak state
+// between runs; it only spares the multi-megabyte LLC tag arrays from being
+// reallocated for every series.
+var statePool = sync.Pool{New: func() any { return new(collectState) }}
+
+// Collect executes one measurement run: the workload on the machine with
+// the given number of cores and dataset scale. It is the simulated
+// equivalent of "run the application under perf stat once" and is
+// deterministic in all its arguments.
+func Collect(w Workload, mach *machine.Config, cores int, scale float64) (counters.Sample, error) {
+	st := statePool.Get().(*collectState)
+	s, err := st.collect(w, mach, cores, scale)
+	statePool.Put(st)
+	return s, err
 }
 
 // CollectSeries measures the workload at every core count in coreCounts,
-// returning the Series the extrapolation pipeline consumes.
+// returning the Series the extrapolation pipeline consumes. The runs are
+// independent simulations, so they execute concurrently over a bounded
+// worker pool; each worker reuses one engine across its runs and every
+// sample lands in its input-index slot, so the resulting Series is
+// byte-identical to a sequential collection.
 func CollectSeries(w Workload, mach *machine.Config, coreCounts []int, scale float64) (*counters.Series, error) {
 	s := &counters.Series{Workload: w.Name(), Machine: mach.Name, Scale: scale}
-	for _, c := range coreCounts {
-		smp, err := Collect(w, mach, c, scale)
+	n := len(coreCounts)
+	if n == 0 {
+		return s, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	// Workers pick up runs smallest-core-count first: per-thread program
+	// buffers are biggest there and only shrink as core counts grow, so a
+	// recycled buffer always fits the next run and each thread's buffer is
+	// allocated at most once per series. The result order is unaffected:
+	// every sample lands in its input slot.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := coreCounts[order[a]], coreCounts[order[b]]
+		if ca != cb {
+			return ca < cb
+		}
+		return order[a] < order[b]
+	})
+	states := make([]*collectState, workers)
+	for i := range states {
+		states[i] = statePool.Get().(*collectState)
+	}
+	samples := make([]counters.Sample, n)
+	errs := make([]error, n)
+	pool.ForNWorker(n, workers, func(worker, j int) {
+		i := order[j]
+		samples[i], errs[i] = states[worker].collect(w, mach, coreCounts[i], scale)
+	})
+	for _, st := range states {
+		statePool.Put(st)
+	}
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		s.Samples = append(s.Samples, smp)
 	}
+	s.Samples = samples
 	s.Sort()
 	return s, nil
+}
+
+// CountOps builds the workload's programs (without simulating them) and
+// returns the total number of operation elements — the work denominator
+// estima-bench -simbench normalizes throughput by.
+func CountOps(w Workload, mach *machine.Config, cores int, scale float64) (int64, error) {
+	if cores < 1 || cores > mach.NumCores() {
+		return 0, fmt.Errorf("sim: %d cores out of range for %s (max %d)", cores, mach.Name, mach.NumCores())
+	}
+	b := NewBuilder(mach, cores, scale, collectSeed(w, mach, cores, scale))
+	w.Build(b)
+	return b.Ops(), nil
 }
 
 // CoreRange returns 1..max, the exhaustive measurement schedule used

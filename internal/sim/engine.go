@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/bits"
 
@@ -89,10 +88,14 @@ type waiter struct {
 }
 
 type lockState struct {
-	kind    LockKind
-	holder  int
-	line    uint64
+	kind   LockKind
+	holder int
+	line   uint64
+	// waiters[head:] is the FIFO of parked threads. Dequeuing advances head
+	// instead of re-slicing the front away, so the backing array keeps its
+	// capacity and steady-state acquire/release cycles never reallocate.
 	waiters []waiter
+	head    int
 }
 
 type barrierState struct {
@@ -108,12 +111,17 @@ type readEntry struct {
 
 type threadState struct {
 	id    int
+	chip  int // mach.Chip(id), hoisted off the access path
 	clock int64
 	ip    int
 	prog  Program
 	done  bool
 
-	l1, l2 *cacheArray
+	// l1/l2 are the private caches, embedded by value so a probe reaches
+	// the tag arrays without an extra pointer hop; llc aliases the chip's
+	// shared cache (e.llc[chip]), hoisted off the access path.
+	l1, l2 cacheArray
+	llc    *cacheArray
 
 	// Transaction state.
 	inTx         bool
@@ -125,7 +133,10 @@ type threadState struct {
 
 	storeStreak int
 
-	useful   float64
+	// useful counts issue cycles of useful work. Every contribution is an
+	// integer number of cycles, so it is held as an int64 (cheaper to bump
+	// on the access path) and converted exactly at sampling time.
+	useful   int64
 	frontend float64
 	stalls   [counters.NumSources]float64
 	soft     [numSoft]float64
@@ -133,88 +144,216 @@ type threadState struct {
 	rng rng
 }
 
-// threadHeap orders runnable threads by clock, then id (determinism).
-type threadHeap struct {
-	items []*threadState
-}
-
-func (h *threadHeap) Len() int { return len(h.items) }
-func (h *threadHeap) Less(i, j int) bool {
-	a, b := h.items[i], h.items[j]
-	if a.clock != b.clock {
-		return a.clock < b.clock
-	}
-	return a.id < b.id
-}
-func (h *threadHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *threadHeap) Push(x any)    { h.items = append(h.items, x.(*threadState)) }
-func (h *threadHeap) Pop() any {
-	old := h.items
-	n := len(old)
-	x := old[n-1]
-	h.items = old[:n-1]
-	return x
-}
-
-// Engine executes one run of a built workload on a machine.
+// Engine executes runs of built workloads on a machine. The zero value is
+// ready for reset: all of its state — thread states, cache arrays, the
+// coherence directory, wait queues, per-site tallies — is reused across
+// runs, so a series of collections allocates only on its first run and the
+// simulation loop itself is allocation-free.
 type Engine struct {
 	mach     *machine.Config
 	b        *Builder
 	threads  []*threadState
-	runq     threadHeap
+	runq     runQueue
 	locks    []lockState
 	barriers []barrierState
-	dir      *directory
+	dir      directory
 	llc      []*cacheArray
 	chipBW   []socketBW // per-chip memory-controller queues
 	snoopBW  socketBW   // machine-wide coherence arbiter queue
 	sockServ float64    // cycles per line of DRAM service
+
+	// dist flattens mach.Distance into one row per core, replacing two
+	// integer divisions per coherence event with a table load. It is
+	// rebuilt only when the machine changes.
+	dist     []uint8
+	distN    int
+	distMach *machine.Config
+
+	// regMeta packs the engine-relevant metadata of every heap region —
+	// (homeChip+1)<<1 | shared — into one small hot array, so classifying
+	// an access touches four bytes instead of the 64-byte Region struct.
+	regMeta []int32
+
+	// ilvChips/ilvMagic resolve the home chip of interleaved regions:
+	// the active chip count of the run and its fastmod magic (chip counts
+	// are at most 64 and lines below 2^47, so the strength-reduced modulo
+	// is always exact).
+	ilvChips uint64
+	ilvMagic uint64
+
+	// l2Nested marks nested power-of-two L1/L2 geometries (all presets):
+	// the L1 slot mask is a subset of the L2 slot mask, so any fill that
+	// evicts a line from L2 also evicts it from L1, and an L1 hit proves
+	// the L2 slot holds the identical entry. accessLine uses this to skip
+	// provably byte-identical cache-array rewrites.
+	l2Nested bool
 
 	siteHW   [][counters.NumSources]float64
 	siteSoft [][numSoft]float64
 	siteName []string
 }
 
-// newEngine wires the machine model around the built programs.
-func newEngine(b *Builder) *Engine {
+// reset wires the engine to a freshly built workload, reusing every piece
+// of engine state whose shape still fits.
+func (e *Engine) reset(b *Builder) {
 	m := b.Mach
-	e := &Engine{
-		mach:     m,
-		b:        b,
-		dir:      newDirectory(),
-		chipBW:   make([]socketBW, m.NumChips()),
-		sockServ: 1 / m.MemBWLinesPerCycle,
-		siteHW:   make([][counters.NumSources]float64, len(b.sites)),
-		siteSoft: make([][numSoft]float64, len(b.sites)),
-		siteName: b.sites,
-	}
-	for c := 0; c < m.NumChips(); c++ {
-		e.llc = append(e.llc, newCacheArray(m.LLCLines))
-	}
-	lockRegion := b.Heap.Alloc("sim.locks", uint64(len(b.locks)+len(b.barriers)+1)*lineBytes, true, 0)
-	for i, k := range b.locks {
-		e.locks = append(e.locks, lockState{
-			kind: k, holder: -1,
-			line: lockRegion.Addr(uint64(i)*lineBytes) >> 6,
-		})
-	}
-	for i, k := range b.barriers {
-		e.barriers = append(e.barriers, barrierState{
-			kind: k,
-			line: lockRegion.Addr(uint64(len(b.locks)+i)*lineBytes) >> 6,
-		})
-	}
-	for t := 0; t < b.Threads; t++ {
-		ts := &threadState{
-			id:   t,
-			prog: b.progs[t],
-			l1:   newCacheArray(m.L1Lines),
-			l2:   newCacheArray(m.L2Lines),
-			rng:  newRNG(b.rng.state ^ uint64(t)*0x9e3779b97f4a7c15),
+	e.mach = m
+	e.b = b
+	e.sockServ = 1 / m.MemBWLinesPerCycle
+	e.snoopBW = socketBW{}
+	e.runq.reset()
+	e.l2Nested = m.L1Lines > 0 && m.L1Lines&(m.L1Lines-1) == 0 &&
+		m.L2Lines > 0 && m.L2Lines&(m.L2Lines-1) == 0 && m.L1Lines <= m.L2Lines
+
+	if e.distMach != m {
+		n := m.NumCores()
+		if cap(e.dist) < n*n {
+			e.dist = make([]uint8, n*n)
 		}
-		e.threads = append(e.threads, ts)
+		e.dist = e.dist[:n*n]
+		for a := 0; a < n; a++ {
+			for c := 0; c < n; c++ {
+				e.dist[a*n+c] = uint8(m.Distance(a, c))
+			}
+		}
+		e.distN = n
+		e.distMach = m
 	}
-	return e
+
+	nch := m.NumChips()
+	for len(e.chipBW) < nch {
+		e.chipBW = append(e.chipBW, socketBW{})
+	}
+	e.chipBW = e.chipBW[:nch]
+	for i := range e.chipBW {
+		e.chipBW[i] = socketBW{}
+	}
+	for len(e.llc) < nch {
+		e.llc = append(e.llc, nil)
+	}
+	e.llc = e.llc[:nch]
+	for i := range e.llc {
+		e.llc[i] = ensureCache(e.llc[i], m.LLCLines)
+	}
+
+	// First-touch placement spreads interleaved regions over the memory
+	// controllers of the sockets whose cores the run uses.
+	perSocket := m.CoresPerChip * m.ChipsPerSocket
+	sockets := (b.Threads + perSocket - 1) / perSocket
+	e.ilvChips = uint64(sockets * m.ChipsPerSocket)
+	e.ilvMagic = ^uint64(0)/e.ilvChips + 1
+
+	lockRegion := b.lockRegion()
+	for len(e.locks) < len(b.locks) {
+		e.locks = append(e.locks, lockState{})
+	}
+	e.locks = e.locks[:len(b.locks)]
+	for i := range e.locks {
+		l := &e.locks[i]
+		l.kind = b.locks[i]
+		l.holder = -1
+		l.line = lockRegion.Addr(uint64(i)*lineBytes) >> 6
+		l.waiters = l.waiters[:0]
+		l.head = 0
+	}
+	for len(e.barriers) < len(b.barriers) {
+		e.barriers = append(e.barriers, barrierState{})
+	}
+	e.barriers = e.barriers[:len(b.barriers)]
+	for i := range e.barriers {
+		br := &e.barriers[i]
+		br.kind = b.barriers[i]
+		br.line = lockRegion.Addr(uint64(len(b.locks)+i)*lineBytes) >> 6
+		br.arrived = br.arrived[:0]
+	}
+
+	for len(e.threads) < b.Threads {
+		e.threads = append(e.threads, &threadState{})
+	}
+	e.threads = e.threads[:b.Threads]
+	for t, ts := range e.threads {
+		ts.id = t
+		ts.chip = m.Chip(t)
+		ts.clock = 0
+		ts.ip = 0
+		ts.prog = b.progs[t]
+		ts.done = false
+		ts.l1.ensure(m.L1Lines)
+		ts.l2.ensure(m.L2Lines)
+		ts.llc = e.llc[ts.chip]
+		ts.inTx = false
+		ts.txStartIP = 0
+		ts.txStartClock = 0
+		ts.txAttempts = 0
+		ts.readSet = ts.readSet[:0]
+		ts.writeSet = ts.writeSet[:0]
+		ts.storeStreak = 0
+		ts.useful = 0
+		ts.frontend = 0
+		ts.stalls = [counters.NumSources]float64{}
+		ts.soft = [numSoft]float64{}
+		ts.rng = newRNG(b.rng.state ^ uint64(t)*0x9e3779b97f4a7c15)
+	}
+
+	ns := len(b.sites)
+	for len(e.siteHW) < ns {
+		e.siteHW = append(e.siteHW, [counters.NumSources]float64{})
+	}
+	e.siteHW = e.siteHW[:ns]
+	for i := range e.siteHW {
+		e.siteHW[i] = [counters.NumSources]float64{}
+	}
+	for len(e.siteSoft) < ns {
+		e.siteSoft = append(e.siteSoft, [numSoft]float64{})
+	}
+	e.siteSoft = e.siteSoft[:ns]
+	for i := range e.siteSoft {
+		e.siteSoft[i] = [numSoft]float64{}
+	}
+	e.siteName = b.sites
+
+	e.dir.reset(len(b.Heap.regions))
+
+	// The heap is final here (lockRegion above was its last allocation), so
+	// the run's line addresses are bounded and the non-power-of-two cache
+	// arrays can prove their strength-reduced slot modulo exact.
+	maxLine := uint64(len(b.Heap.regions)+1) << dirRegionBits
+	for _, c := range e.llc {
+		c.enableFastmod(maxLine)
+	}
+	for _, ts := range e.threads {
+		ts.l1.enableFastmod(maxLine)
+		ts.l2.enableFastmod(maxLine)
+	}
+
+	e.regMeta = e.regMeta[:0]
+	for i := range b.Heap.regions {
+		r := &b.Heap.regions[i]
+		meta := int32(r.HomeChip+1) << 1
+		if r.Shared {
+			meta |= 1
+		}
+		e.regMeta = append(e.regMeta, meta)
+	}
+}
+
+// ensureCache recycles a cache array when its geometry still matches,
+// otherwise allocates a fresh one.
+func ensureCache(c *cacheArray, n int) *cacheArray {
+	if n <= 0 {
+		n = 1
+	}
+	if c == nil || len(c.ents) != n {
+		return newCacheArray(n)
+	}
+	c.reset()
+	return c
+}
+
+// distance returns the NUMA distance between two cores from the flattened
+// table.
+func (e *Engine) distance(a, b int) int {
+	return int(e.dist[a*e.distN+b])
 }
 
 // Run executes the built workload and returns the measurement sample a real
@@ -222,23 +361,22 @@ func newEngine(b *Builder) *Engine {
 // frontend stall cycles, software stalls, per-site attribution and the
 // memory footprint.
 func Run(b *Builder) counters.Sample {
-	e := newEngine(b)
+	var e Engine
+	e.reset(b)
 	e.run()
 	return e.sample()
 }
 
 func (e *Engine) run() {
-	heap.Init(&e.runq)
 	for _, t := range e.threads {
 		if len(t.prog) == 0 {
 			t.done = true
 			continue
 		}
-		heap.Push(&e.runq, t)
+		e.runq.push(t)
 	}
-	for e.runq.Len() > 0 {
-		t := heap.Pop(&e.runq).(*threadState)
-		e.step(t)
+	for !e.runq.empty() {
+		e.step(e.runq.pop())
 	}
 	for _, t := range e.threads {
 		if !t.done {
@@ -273,10 +411,10 @@ func (e *Engine) step(t *threadState) {
 		// transaction's eager write locks become observable at (almost)
 		// their true acquisition times rather than from the start of a
 		// batch that began long before the transaction did.
-		blocking := op.Kind == OpLock || op.Kind == OpUnlock || op.Kind == OpBarrier ||
-			op.Kind == OpTxBegin || op.Kind == OpTxEnd
-		if blocking && ops > 0 {
-			heap.Push(&e.runq, t)
+		const blockingKinds = 1<<OpLock | 1<<OpUnlock | 1<<OpBarrier |
+			1<<OpTxBegin | 1<<OpTxEnd
+		if blockingKinds>>op.Kind&1 != 0 && ops > 0 {
+			e.runq.push(t)
 			return
 		}
 		switch op.Kind {
@@ -287,7 +425,7 @@ func (e *Engine) step(t *threadState) {
 			if aborted := e.memRun(t, op); aborted {
 				// The transaction rewound and backed off; rejoin the run
 				// queue so the retry is ordered against other threads.
-				heap.Push(&e.runq, t)
+				e.runq.push(t)
 				return
 			}
 			t.ip++
@@ -319,7 +457,7 @@ func (e *Engine) step(t *threadState) {
 		}
 		ops++
 		if t.batchDone(start, ops) {
-			heap.Push(&e.runq, t)
+			e.runq.push(t)
 			return
 		}
 	}
@@ -331,7 +469,7 @@ func (e *Engine) step(t *threadState) {
 func (e *Engine) compute(t *threadState, op *Op) {
 	n := float64(op.Count)
 	t.clock += int64(op.Count)
-	t.useful += n
+	t.useful += int64(op.Count)
 
 	br := n * e.b.BranchAbortRate
 	e.stall(t, op.Site, counters.SrcBranchAbort, br)
@@ -369,17 +507,62 @@ func (e *Engine) softStall(t *threadState, site uint8, idx int, cycles float64) 
 	}
 }
 
-// memRun executes a batched run of memory accesses. It reports whether the
-// run was cut short by a transaction abort (in which case the thread's ip
-// has been rewound and must not be advanced).
+// memRun executes a batched run of memory accesses at cache-line
+// granularity: the run is cut into segments of consecutive elements that
+// touch the same line, the segment's first element walks the full memory
+// model, and the remaining elements pay only their per-element issue,
+// store-buffer and STM-tracking costs — the cache and directory state they
+// would observe is exactly what the first element just installed. It
+// reports whether the run was cut short by a transaction abort (in which
+// case the thread's ip has been rewound and must not be advanced).
 func (e *Engine) memRun(t *threadState, op *Op) (aborted bool) {
 	addr := op.Addr
-	sequential := op.Count > 1 && op.Stride != 0 && op.Stride <= 2*lineBytes && op.Stride >= -2*lineBytes
-	for i := uint32(0); i < op.Count; i++ {
-		if aborted := e.access(t, op.Site, addr, op.Write, sequential, true); aborted {
+	count := op.Count
+	if count == 1 {
+		return e.access(t, op.Site, addr, op.Write, false, true)
+	}
+	stride := int64(op.Stride)
+	sequential := stride != 0 && stride <= 2*lineBytes && stride >= -2*lineBytes
+	curRid := -1
+	meta := int32(-1) // packed region metadata; -1 = outside the heap
+	for i := uint32(0); i < count; {
+		// Elements from addr onward that stay within addr's cache line.
+		var span uint32
+		switch {
+		case stride >= lineBytes || stride <= -lineBytes:
+			// A full-line-or-more stride (the common dense-array walk)
+			// always leaves the line after one element.
+			span = 1
+		case stride > 0:
+			next := (addr>>6 + 1) << 6
+			span = uint32((next - addr + uint64(stride) - 1) / uint64(stride))
+		case stride < 0:
+			lineStart := addr >> 6 << 6
+			span = uint32((addr-lineStart)/uint64(-stride)) + 1
+		default:
+			span = count - i
+		}
+		if rem := count - i; span > rem {
+			span = rem
+		}
+		if rid := int(addr >> regionShift); rid != curRid {
+			curRid = rid
+			if rid >= 1 && rid <= len(e.regMeta) {
+				meta = e.regMeta[rid-1]
+			} else {
+				meta = -1
+			}
+		}
+		if meta < 0 {
+			// Stray addresses are a workload bug; treat as private scratch:
+			// one issue cycle of useful work per element, nothing else.
+			t.clock += int64(span)
+			t.useful += int64(span)
+		} else if e.accessLine(t, op.Site, meta, addr, op.Write, sequential, true, span) {
 			return true
 		}
-		addr = uint64(int64(addr) + int64(op.Stride))
+		i += span
+		addr = uint64(int64(addr) + stride*int64(span))
 	}
 	return false
 }
@@ -389,16 +572,27 @@ func (e *Engine) memRun(t *threadState, op *Op) (aborted bool) {
 // STM read/write-set tracking. It reports whether the access aborted the
 // thread's current transaction.
 func (e *Engine) access(t *threadState, site uint8, addr uint64, write, sequential, stmTrack bool) (aborted bool) {
-	region := e.b.Heap.Region(addr)
-	if region == nil {
+	rid := int(addr>>regionShift) - 1
+	if rid < 0 || rid >= len(e.regMeta) {
 		// A stray address is a workload bug; treat as private scratch.
 		t.clock++
 		t.useful++
 		return false
 	}
+	return e.accessLine(t, site, e.regMeta[rid], addr, write, sequential, stmTrack, 1)
+}
+
+// accessLine performs span back-to-back accesses that all fall on addr's
+// cache line. The first access walks the full memory model; the remaining
+// span-1 accesses charge exactly the per-element costs the one-at-a-time
+// path would: an issue cycle of useful work, store-buffer pressure or
+// drain, STM read tracking, and — for untracked shared writes — one
+// version bump per store.
+func (e *Engine) accessLine(t *threadState, site uint8, meta int32, addr uint64, write, sequential, stmTrack bool, span uint32) (aborted bool) {
 	line := addr >> 6
 	core := t.id
-	shared := region.Shared
+	shared := meta&1 != 0
+	self1 := int16(core + 1)
 
 	var de *dirEntry
 	var ver uint32
@@ -410,15 +604,15 @@ func (e *Engine) access(t *threadState, site uint8, addr uint64, write, sequenti
 	// STM bookkeeping: eager write locks, versioned read set.
 	if t.inTx && shared && stmTrack {
 		if write {
-			if de.lockOwner >= 0 && int(de.lockOwner) != t.id {
+			if de.lock1 != 0 && de.lock1 != self1 {
 				e.txAbort(t, site)
 				return true
 			}
-			if de.lockOwner < 0 {
-				de.lockOwner = int16(t.id)
+			if de.lock1 == 0 {
+				de.lock1 = self1
 				t.writeSet = append(t.writeSet, line)
 			}
-		} else if de.lockOwner != int16(t.id) {
+		} else if de.lock1 != self1 {
 			t.readSet = append(t.readSet, readEntry{line, ver})
 		}
 	}
@@ -438,22 +632,33 @@ func (e *Engine) access(t *threadState, site uint8, addr uint64, write, sequenti
 		t.storeStreak--
 	}
 
-	// Cache hierarchy walk.
-	chip := e.mach.Chip(core)
+	// Cache hierarchy walk. Slots are computed once and shared between the
+	// probe and the final fill, and all three tag entries are loaded before
+	// the first comparison so the host CPU overlaps their (frequently
+	// cache-missing) loads instead of serializing them behind branches.
+	llc := t.llc
+	i1 := t.l1.slot(line)
+	i2 := t.l2.slot(line)
+	i3 := llc.slot(line)
+	en1 := t.l1.ents[i1]
+	en2 := t.l2.ents[i2]
+	en3 := llc.ents[i3]
+	verProbe := ver
+	var l1Hit, l2Hit, llcHit bool
 	switch {
-	case t.l1.probe(line, ver):
+	case en1.combo == t.l1.epoch|line && en1.ver >= ver:
 		// L1 hit: fully pipelined.
-	case t.l2.probe(line, ver):
+		l1Hit = true
+	case en2.combo == t.l2.epoch|line && en2.ver >= ver:
+		l2Hit = true
 		e.stall(t, site, counters.SrcRS, float64(e.mach.L2Lat))
 		t.clock += e.mach.L2Lat
-		t.l1.fill(line, ver)
-	case e.llc[chip].probe(line, ver):
+	case en3.combo == llc.epoch|line && en3.ver >= ver:
+		llcHit = true
 		e.stall(t, site, counters.SrcRS, float64(e.mach.LLCLat))
 		t.clock += e.mach.LLCLat
-		t.l1.fill(line, ver)
-		t.l2.fill(line, ver)
 	default:
-		e.dramAccess(t, site, line, ver, region, write, sequential, de)
+		e.dramAccess(t, site, line, meta, write, sequential)
 	}
 
 	// Coherence beyond the hierarchy walk. Writes inside a transaction do
@@ -467,7 +672,7 @@ func (e *Engine) access(t *threadState, site uint8, addr uint64, write, sequenti
 			// invalidation round every write, which is what makes hot-line
 			// workloads degrade (not just flatten) at high core counts.
 			others := de.sharers &^ (1 << uint(core))
-			if others != 0 || (de.writer >= 0 && int(de.writer) != core) {
+			if others != 0 || (de.writer1 != 0 && de.writer1 != self1) {
 				d := e.maxSharerDistance(core, de)
 				fanout := 1 + float64(bits.OnesCount64(others))/12
 				inv := float64(e.mach.C2CLat[d])/2*fanout + e.snoop(t.clock)
@@ -477,28 +682,73 @@ func (e *Engine) access(t *threadState, site uint8, addr uint64, write, sequenti
 			if t.inTx && stmTrack {
 				// Version bumps at commit; cache the current version.
 				de.sharers = 1 << uint(core)
-				de.writer = int16(core)
+				de.writer1 = self1
 			} else {
 				de.version++
 				de.sharers = 1 << uint(core)
-				de.writer = int16(core)
+				de.writer1 = self1
 				ver = de.version
 			}
 		} else {
-			if de.writer >= 0 && int(de.writer) != core {
+			if de.writer1 != 0 && de.writer1 != self1 {
 				// Dirty in another cache: cache-to-cache transfer.
-				d := e.mach.Distance(core, int(de.writer))
+				d := e.distance(core, int(de.writer1)-1)
 				c2c := float64(e.mach.C2CLat[d]) + e.snoop(t.clock)
 				e.stall(t, site, counters.SrcLS, c2c)
 				t.clock += int64(c2c)
-				de.writer = -1
+				de.writer1 = 0
 			}
 			de.sharers |= 1 << uint(core)
 		}
 	}
-	t.l1.fill(line, ver)
-	t.l2.fill(line, ver)
-	e.llc[chip].fill(line, ver)
+
+	// Trailing same-line accesses: after the first access installed the
+	// line everywhere, each further element is an L1 hit paying only its
+	// issue cycle plus store-buffer and STM-tracking effects — with the
+	// identical per-element accounting order the unbatched path used.
+	if span > 1 {
+		trackRead := t.inTx && shared && stmTrack && !write && de.lock1 != self1
+		bumpVer := shared && write && !(t.inTx && stmTrack)
+		for j := uint32(1); j < span; j++ {
+			if trackRead {
+				t.readSet = append(t.readSet, readEntry{line, ver})
+			}
+			t.clock++
+			t.useful++
+			if write {
+				t.storeStreak++
+				if t.storeStreak > storeBufEntries {
+					e.stall(t, site, counters.SrcStoreBuf, storeBufStall)
+					t.clock += storeBufStall
+				}
+			} else if t.storeStreak > 0 {
+				t.storeStreak--
+			}
+			if bumpVer {
+				de.version++
+			}
+		}
+		if bumpVer {
+			ver = de.version
+		}
+	}
+
+	// Final fills. A fill into the level that just hit rewrites the bytes
+	// the probe matched (hit at ver' >= ver with ver' <= the line's current
+	// version implies ver' == ver), and an L1 hit with nested geometry
+	// proves the L2 slot holds that same entry — so when the version did
+	// not move during this access, those rewrites are skipped as provable
+	// no-ops. Any version bump re-enables every fill.
+	same := ver == verProbe
+	if !(same && l1Hit) {
+		t.l1.fillAt(i1, line, ver)
+	}
+	if !(same && (l2Hit || (l1Hit && e.l2Nested))) {
+		t.l2.fillAt(i2, line, ver)
+	}
+	if !(same && llcHit) {
+		llc.fillAt(i3, line, ver)
+	}
 	return false
 }
 
@@ -510,22 +760,20 @@ func (e *Engine) snoop(now int64) float64 {
 
 // dramAccess models an LLC miss: NUMA latency to the region's home memory
 // plus bandwidth queueing at the home socket's memory controller.
-func (e *Engine) dramAccess(t *threadState, site uint8, line uint64, ver uint32, region *Region, write, sequential bool, de *dirEntry) {
+func (e *Engine) dramAccess(t *threadState, site uint8, line uint64, meta int32, write, sequential bool) {
 	core := t.id
-	homeChip := region.HomeChip
-	if homeChip == Interleaved {
-		// First-touch placement: the dataset's pages are spread across the
-		// memory controllers of the sockets whose cores use them.
-		perSocket := e.mach.CoresPerChip * e.mach.ChipsPerSocket
-		sockets := (len(e.threads) + perSocket - 1) / perSocket
-		active := sockets * e.mach.ChipsPerSocket
-		homeChip = int(line % uint64(active))
+	homeChip := int(meta>>1) - 1
+	if homeChip < 0 {
+		// First-touch placement: line % ilvChips via the always-exact
+		// fastmod precomputed at reset.
+		hi, _ := bits.Mul64(e.ilvMagic*line, e.ilvChips)
+		homeChip = int(hi)
 	}
 	homeCore := homeChip * e.mach.CoresPerChip
 	if homeCore >= e.mach.NumCores() {
 		homeCore = 0
 	}
-	dist := e.mach.Distance(core, homeCore)
+	dist := e.distance(core, homeCore)
 	lat := float64(e.mach.MemLat[dist])
 
 	// Bandwidth queueing at the home chip's memory controller.
@@ -551,18 +799,17 @@ func (e *Engine) dramAccess(t *threadState, site uint8, line uint64, ver uint32,
 func (e *Engine) maxSharerDistance(core int, de *dirEntry) int {
 	maxD := 0
 	sharers := de.sharers &^ (1 << uint(core))
-	for c := 0; sharers != 0 && c < 64; c++ {
-		if sharers&(1<<uint(c)) != 0 {
-			if c < e.mach.NumCores() {
-				if d := e.mach.Distance(core, c); d > maxD {
-					maxD = d
-				}
+	for sharers != 0 {
+		c := bits.TrailingZeros64(sharers)
+		sharers &= sharers - 1
+		if c < e.distN {
+			if d := e.distance(core, c); d > maxD {
+				maxD = d
 			}
-			sharers &^= 1 << uint(c)
 		}
 	}
-	if de.writer >= 0 && int(de.writer) != core {
-		if d := e.mach.Distance(core, int(de.writer)); d > maxD {
+	if de.writer1 != 0 && int(de.writer1) != core+1 {
+		if d := e.distance(core, int(de.writer1)-1); d > maxD {
 			maxD = d
 		}
 	}
@@ -580,7 +827,7 @@ func (e *Engine) sample() counters.Sample {
 		if t.clock > maxClock {
 			maxClock = t.clock
 		}
-		useful += t.useful
+		useful += float64(t.useful)
 		frontend += t.frontend
 		for s := 0; s < int(counters.NumSources); s++ {
 			stalls[s] += t.stalls[s]

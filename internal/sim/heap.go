@@ -9,6 +9,11 @@ const regionShift = 40
 // lineBytes is the cache line size.
 const lineBytes = 64
 
+// maxRegions bounds the heap's region table so that every line address fits
+// the cache arrays' packed epoch|line tags: the largest line of region
+// id maxRegions-1 is below (maxRegions+1)<<(regionShift-6) < 2^cacheTagBits.
+const maxRegions = 1 << 13
+
 // Interleaved marks a region whose pages are distributed round-robin across
 // all chips' memory controllers (the placement big parallel datasets get
 // from first-touch initialization or numactl --interleave).
@@ -61,6 +66,9 @@ func (h *Heap) Alloc(name string, size uint64, shared bool, homeChip int) Region
 		homeChip = Interleaved
 	}
 	id := len(h.regions)
+	if id >= maxRegions {
+		panic(fmt.Sprintf("sim: heap exceeds %d regions (workload allocates per-element?)", maxRegions))
+	}
 	r := Region{
 		ID:       id,
 		Name:     name,

@@ -99,6 +99,64 @@ type Builder struct {
 	barriers []BarrierKind
 	sites    []string
 	rng      rng
+
+	lockReg   Region
+	lockRegOK bool
+}
+
+// lockRegion returns the shared region backing the run's lock and barrier
+// words, allocating it on first use. It is memoized so resetting an engine
+// onto the same builder twice cannot grow the heap (and the footprint).
+func (b *Builder) lockRegion() Region {
+	if !b.lockRegOK {
+		b.lockReg = b.Heap.Alloc("sim.locks", uint64(len(b.locks)+len(b.barriers)+1)*lineBytes, true, 0)
+		b.lockRegOK = true
+	}
+	return b.lockReg
+}
+
+// recycleProgs hands the per-thread op buffers of a previous run's builder
+// to this one: successive runs of a series append into already-grown
+// programs instead of re-growing them from nil, which removes the
+// append/memmove churn of program building from a series' steady state.
+// need, when positive, is the expected per-thread op count of the coming
+// run (e.g. derived from the previous run's total): a buffer whose capacity
+// cannot hold it is reallocated empty at need plus slack, so building fills
+// it with plain appends instead of a doubling cascade of copies, while a
+// buffer already big enough is kept as is. It returns the (possibly
+// extended) scratch slice; after the run, the scratch entries alias the
+// grown programs and can be passed to the next builder.
+func (b *Builder) recycleProgs(scratch []Program, need int) []Program {
+	for len(scratch) < b.Threads {
+		scratch = append(scratch, nil)
+	}
+	b.progs = scratch[:b.Threads]
+	for i := range b.progs {
+		if cap(b.progs[i]) < need {
+			b.progs[i] = make(Program, 0, need+need/4+16)
+		} else {
+			b.progs[i] = b.progs[i][:0]
+		}
+	}
+	return scratch
+}
+
+// Ops returns the total number of simulated operation elements across all
+// thread programs: memory runs count one per access, every other op counts
+// one. It is the work denominator behind estima-bench's ops/sec and
+// allocs/op metrics.
+func (b *Builder) Ops() int64 {
+	var n int64
+	for _, p := range b.progs {
+		for i := range p {
+			if p[i].Kind == OpMem {
+				n += int64(p[i].Count)
+			} else {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // NewBuilder creates a builder for a run.
@@ -172,7 +230,7 @@ func (b *Builder) Thread(t int) *ProgBuilder {
 	if t < 0 || t >= b.Threads {
 		panic(fmt.Sprintf("sim: thread %d out of range", t))
 	}
-	return &ProgBuilder{b: b, t: t}
+	return &ProgBuilder{b: b, t: t, prog: &b.progs[t]}
 }
 
 // ScaledInt multiplies n by the dataset scale, returning at least 1.
@@ -184,11 +242,14 @@ func (b *Builder) ScaledInt(n int) int {
 	return v
 }
 
-// ProgBuilder appends operations to one thread's program.
+// ProgBuilder appends operations to one thread's program. It holds a direct
+// pointer to the program slot, so the per-op append touches no intermediate
+// slice headers.
 type ProgBuilder struct {
 	b    *Builder
 	t    int
 	site uint8
+	prog *Program
 }
 
 // At sets the current code site for subsequently appended operations.
@@ -199,7 +260,7 @@ func (p *ProgBuilder) At(site uint8) *ProgBuilder {
 
 func (p *ProgBuilder) push(op Op) *ProgBuilder {
 	op.Site = p.site
-	p.b.progs[p.t] = append(p.b.progs[p.t], op)
+	*p.prog = append(*p.prog, op)
 	return p
 }
 
@@ -264,5 +325,5 @@ func (p *ProgBuilder) TxEnd() *ProgBuilder {
 
 // Len returns the number of operations appended so far.
 func (p *ProgBuilder) Len() int {
-	return len(p.b.progs[p.t])
+	return len(*p.prog)
 }

@@ -1,0 +1,66 @@
+package sim
+
+// runQueue is a binary min-heap of runnable threads ordered by (clock, id).
+// It replaces container/heap on the scheduler's hot path: no interface
+// boxing, no indirect Less/Swap calls, and the backing slice is reused
+// across runs. The (clock, id) order is strict and total, so pop order —
+// and therefore the whole simulation — is independent of the heap's
+// internal layout.
+type runQueue struct {
+	items []*threadState
+}
+
+func (q *runQueue) reset() {
+	clear(q.items)
+	q.items = q.items[:0]
+}
+
+func (q *runQueue) empty() bool { return len(q.items) == 0 }
+
+func runqLess(a, b *threadState) bool {
+	if a.clock != b.clock {
+		return a.clock < b.clock
+	}
+	return a.id < b.id
+}
+
+func (q *runQueue) push(t *threadState) {
+	it := append(q.items, t)
+	q.items = it
+	i := len(it) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !runqLess(it[i], it[p]) {
+			break
+		}
+		it[i], it[p] = it[p], it[i]
+		i = p
+	}
+}
+
+func (q *runQueue) pop() *threadState {
+	it := q.items
+	top := it[0]
+	n := len(it) - 1
+	it[0] = it[n]
+	it[n] = nil
+	it = it[:n]
+	q.items = it
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && runqLess(it[r], it[l]) {
+			c = r
+		}
+		if !runqLess(it[c], it[i]) {
+			break
+		}
+		it[i], it[c] = it[c], it[i]
+		i = c
+	}
+	return top
+}

@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"container/heap"
-
 	"repro/internal/counters"
 )
 
@@ -22,8 +20,12 @@ func (e *Engine) lockAcquire(t *threadState, op *Op) bool {
 			cost = e.mach.MutexAcquire
 		}
 		t.clock += cost
-		t.useful += float64(cost)
+		t.useful += cost
 		return true
+	}
+	if l.head == len(l.waiters) {
+		l.waiters = l.waiters[:0]
+		l.head = 0
 	}
 	l.waiters = append(l.waiters, waiter{thread: t.id, arrival: t.clock})
 	return false
@@ -38,12 +40,12 @@ func (e *Engine) lockRelease(t *threadState, op *Op) {
 	// The release is a write of the lock word.
 	e.access(t, op.Site, l.line<<6, true, false, false)
 	now := t.clock
-	if len(l.waiters) == 0 {
+	if l.head == len(l.waiters) {
 		l.holder = -1
 		return
 	}
-	w := l.waiters[0]
-	l.waiters = l.waiters[1:]
+	w := l.waiters[l.head]
+	l.head++
 	next := e.threads[w.thread]
 	handoff := e.mach.SpinHandoff
 	if l.kind == LockMutex {
@@ -63,9 +65,9 @@ func (e *Engine) lockRelease(t *threadState, op *Op) {
 		uncontended = e.mach.MutexAcquire
 	}
 	next.clock += uncontended
-	next.useful += float64(uncontended)
+	next.useful += uncontended
 	next.ip++ // the parked OpLock completes
-	heap.Push(&e.runq, next)
+	e.runq.push(next)
 }
 
 // barrierArrive processes thread t arriving at barrier op.ID. It returns
@@ -101,17 +103,17 @@ func (e *Engine) barrierArrive(t *threadState, op *Op) bool {
 		}
 		next.clock = resume
 		next.ip++ // the parked OpBarrier completes
-		heap.Push(&e.runq, next)
+		e.runq.push(next)
 	}
 	b.arrived = b.arrived[:0]
 	// The releasing thread pays the broadcast cost.
 	switch b.kind {
 	case BarrierMutex:
 		t.clock += e.mach.MutexAcquire
-		t.useful += float64(e.mach.MutexAcquire)
+		t.useful += e.mach.MutexAcquire
 	default:
 		t.clock += e.mach.SpinAcquire
-		t.useful += float64(e.mach.SpinAcquire)
+		t.useful += e.mach.SpinAcquire
 	}
 	return true
 }
@@ -127,19 +129,20 @@ func (e *Engine) txCommit(t *threadState, op *Op) {
 	}
 	// Validate the read set against current versions.
 	valid := true
+	self1 := int16(t.id + 1)
 	for _, r := range t.readSet {
 		de := e.dir.lookup(r.line)
 		if de == nil {
 			continue
 		}
-		if de.version != r.ver || (de.lockOwner >= 0 && de.lockOwner != int16(t.id)) {
+		if de.version != r.ver || (de.lock1 != 0 && de.lock1 != self1) {
 			valid = false
 			break
 		}
 	}
 	vcost := int64(len(t.readSet)) * txPerReadValidate
 	t.clock += vcost
-	t.useful += float64(vcost)
+	t.useful += vcost
 	if !valid {
 		e.txAbort(t, op.Site)
 		return
@@ -147,13 +150,13 @@ func (e *Engine) txCommit(t *threadState, op *Op) {
 	// Commit: publish write versions and release write locks.
 	ccost := int64(txCommitBase) + int64(len(t.writeSet))*txPerWriteCommit
 	t.clock += ccost
-	t.useful += float64(ccost)
+	t.useful += ccost
 	for _, line := range t.writeSet {
 		de := e.dir.entry(line)
 		de.version++
-		de.writer = int16(t.id)
+		de.writer1 = self1
 		de.sharers = 1 << uint(t.id)
-		de.lockOwner = -1
+		de.lock1 = 0
 	}
 	t.inTx = false
 	t.txAttempts = 0
@@ -178,8 +181,8 @@ func (e *Engine) txAbort(t *threadState, site uint8) {
 	e.softStall(t, site, softTxAborted, duration)
 	for _, line := range t.writeSet {
 		de := e.dir.entry(line)
-		if de.lockOwner == int16(t.id) {
-			de.lockOwner = -1
+		if de.lock1 == int16(t.id+1) {
+			de.lock1 = 0
 		}
 	}
 	t.readSet = t.readSet[:0]

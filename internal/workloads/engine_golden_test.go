@@ -1,0 +1,138 @@
+package workloads
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/counters"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// updateEngineGoldens regenerates the engine sample-hash goldens:
+//
+//	go test ./internal/workloads -run TestEngineSampleHashes -update-engine-goldens
+var updateEngineGoldens = flag.Bool("update-engine-goldens", false,
+	"rewrite the engine sample-hash golden file")
+
+// goldenScale keeps the 252-run table fast; the hash locks semantics at any
+// fixed scale, so a small one loses nothing.
+const goldenScale = 0.05
+
+// engineGoldenCores returns the locked measurement points of a machine:
+// one core, the midpoint, and the full machine.
+func engineGoldenCores(m *machine.Config) []int {
+	max := m.NumCores()
+	mid := (max + 1) / 2
+	switch {
+	case max == 1:
+		return []int{1}
+	case mid == 1 || mid == max:
+		return []int{1, max}
+	default:
+		return []int{1, mid, max}
+	}
+}
+
+// sampleHash is the sha256 of the sample's canonical JSON encoding (the
+// counters series codec, which sorts every map), so two byte-identical
+// samples — and only those — hash equal.
+func sampleHash(w string, m string, smp counters.Sample) (string, error) {
+	doc, err := counters.EncodeSeries(&counters.Series{
+		Workload: w, Machine: m, Scale: goldenScale,
+		Samples: []counters.Sample{smp},
+	})
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(doc)), nil
+}
+
+// TestEngineSampleHashes golden-locks the simulator's measurement semantics:
+// every registered workload-family default × machine preset × {1, mid, max}
+// cores must produce a byte-identical counters.Sample. Any engine
+// optimization that changes a single bit of any sample fails here — the
+// contract behind keeping sim.EngineVersion at "sim-v1". A deliberate
+// semantic change must bump EngineVersion and regenerate this file with
+// -update-engine-goldens.
+func TestEngineSampleHashes(t *testing.T) {
+	path := filepath.Join("testdata", "engine_sample_hashes.golden")
+
+	var lines []string
+	for _, name := range Names() {
+		w, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		for _, m := range machine.Presets() {
+			for _, cores := range engineGoldenCores(m) {
+				smp, err := sim.Collect(w, m, cores, goldenScale)
+				if err != nil {
+					t.Fatalf("Collect(%q, %q, %d): %v", name, m.Name, cores, err)
+				}
+				h, err := sampleHash(name, m.Name, smp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lines = append(lines, fmt.Sprintf("%s|%s|%d %s", name, m.Name, cores, h))
+			}
+		}
+	}
+	got := strings.Join(lines, "\n") + "\n"
+
+	if *updateEngineGoldens {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d entries)", path, len(lines))
+		return
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("%v (generate it with -update-engine-goldens)", err)
+	}
+	defer f.Close()
+	want := map[string]string{}
+	var order []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		key, hash, ok := strings.Cut(sc.Text(), " ")
+		if !ok {
+			t.Fatalf("malformed golden line %q", sc.Text())
+		}
+		want[key] = hash
+		order = append(order, key)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	gotMap := map[string]string{}
+	for _, l := range lines {
+		key, hash, _ := strings.Cut(l, " ")
+		gotMap[key] = hash
+	}
+	if len(gotMap) != len(want) {
+		t.Errorf("golden has %d entries, run produced %d (machine or workload set changed?)", len(want), len(gotMap))
+	}
+	for _, key := range order {
+		g, ok := gotMap[key]
+		if !ok {
+			t.Errorf("%s: missing from this run", key)
+			continue
+		}
+		if g != want[key] {
+			t.Errorf("%s: sample hash changed\n  want %s\n  got  %s\n(engine semantics drifted: either fix the regression or bump sim.EngineVersion and regenerate)", key, want[key], g)
+		}
+	}
+}
