@@ -37,6 +37,8 @@ func run() int {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	sweepBench := flag.Bool("sweepbench", false,
 		"measure a cold vs warm prediction sweep through the planner and write BENCH_sweep.json (to -out, or the working directory)")
+	serveBench := flag.Bool("servebench", false,
+		"load-test an in-process cluster (1 coordinator + 2 workers over HTTP) at several concurrency levels and write BENCH_http.json (to -out, or the working directory)")
 	simBench := flag.Bool("simbench", false,
 		"measure cold CollectSeries throughput of the simulation engine and write BENCH_sim.json (to -out, or the working directory)")
 	simMachine := flag.String("simmachine", "Xeon20", "machine preset the -simbench schedule runs on")
@@ -87,6 +89,15 @@ func run() int {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		if err := runSweepBench(ctx, *scale, *cacheDir, *outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "estima-bench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if *serveBench {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := runServeBench(ctx, *scale, *outDir); err != nil {
 			fmt.Fprintf(os.Stderr, "estima-bench: %v\n", err)
 			return 1
 		}

@@ -90,7 +90,8 @@ commands:
               series collected with 'collect -o')
   sweep       predict the full workload x machine matrix in parallel
   bottleneck  report predicted stall bottlenecks by code site
-  serve       serve the prediction API over HTTP (/v1/*)
+  serve       serve the prediction API over HTTP (/v1/*); -worker and
+              -coordinator -peers=... scale one fleet out over shards
 `)
 }
 

@@ -77,3 +77,37 @@ func Allowed(items []int) {
 		go func() {}() //estima:allow boundedspawn fixture: items is tiny by construction
 	}
 }
+
+// SelectAcquire gates each goroutine on a semaphore send inside a select —
+// the cancellable variant of the in-goroutine acquire idiom.
+func SelectAcquire(items []int, sem chan struct{}, stop chan struct{}) {
+	for range items {
+		go func() {
+			select {
+			case sem <- struct{}{}:
+			case <-stop:
+				return
+			}
+			defer func() { <-sem }()
+		}()
+	}
+}
+
+// ProberPerMember is the coordinator's fan-out shape: one long-lived
+// goroutine per configured fleet member. Unbounded in the loop's eyes, so it
+// needs a waiver — placed on the line above the spawn.
+func ProberPerMember(members []string, probe func(int)) {
+	for i := range members {
+		//estima:allow boundedspawn fixture: one prober per configured member; membership is static
+		go probe(i)
+	}
+}
+
+// RelayFanOut is the coordinator's cell fan-out: goroutine per planned cell
+// with no pool, which must be flagged even when a ring lookup precedes it.
+func RelayFanOut(cells []int, route func(int) int, send func(int)) {
+	for _, c := range cells {
+		target := route(c)
+		go send(target) // want `goroutine per loop iteration without a bounded-pool idiom`
+	}
+}

@@ -1,0 +1,349 @@
+// Package cluster is the scale-out tier over internal/service: a
+// coordinator that routes requests across a fleet of ordinary `estima serve
+// -worker` processes, each owning a store shard and fit cache.
+//
+// Routing is by consistent hash of the canonical scenario identity
+// (service.RouteKey over the spec-canonical workload and machine names —
+// the PR 5 identity layer makes sharding free): every request for one
+// scenario lands on the worker whose store and memos already hold it.
+// Sweeps are planned locally (service.PlanSweep — identical validation,
+// identical plan order), fanned out one cell per worker request, and merged
+// plan-index-order-stable, so coordinator responses are byte-identical to
+// single-process ones; the conformance suite locks that. Overlapping
+// requests from different clients coalesce in an in-flight registry
+// (flights.go) before they ever reach a worker. Workers that fail probes or
+// requests are routed around via the ring's successor order, with the
+// coordinator's own embedded Service as the last resort — degraded service
+// is cold and slower but never wrong, because every result is
+// deterministic.
+//
+//estima:timing health probing, retry backoff and probe deadlines are inherently wall-clock
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster/ring"
+	"repro/internal/machine"
+	"repro/internal/service"
+	"repro/internal/workloads"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Workers are the worker base addresses ("host:port" or full URLs).
+	// Their spelling is routing identity: every coordinator of one fleet
+	// must list the same strings.
+	Workers []string
+	// Local is the coordinator's own embedded Service. It answers registry
+	// requests (/v1/workloads, /v1/machines — fleet state must never change
+	// registry answers), validates and plans sweeps, serves requests that
+	// carry no routable scenario (replayed series, malformed bodies — so
+	// error bytes match single-process validation exactly), and executes as
+	// the last resort when every worker is down.
+	Local *service.Service
+	// Client performs worker requests; nil means a fresh default client
+	// (no global timeout — request contexts govern lifetimes).
+	Client *http.Client
+	// Retries is the transient-failure retry budget per worker before
+	// failing over to the next ring successor; 0 or negative means fail
+	// over immediately. Serving mode (estima serve -coordinator) sets 2.
+	Retries int
+	// RetryBase is the backoff base between retries (jittered, doubling);
+	// 0 means 50ms.
+	RetryBase time.Duration
+	// ProbeInterval is the background health-probe period; 0 disables
+	// probing (workers are then marked unhealthy only passively, by failed
+	// requests, and never revived — fine for tests, wrong for serving).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe or readiness fetch; 0 means 2s.
+	ProbeTimeout time.Duration
+}
+
+// Coordinator routes requests over the worker fleet. Build with New, serve
+// with NewHandler, stop with Close.
+type Coordinator struct {
+	cfg     Config
+	workers []string // normalized base URLs, configuration order
+	ring    *ring.Ring
+	healthy []atomic.Bool
+	client  *http.Client
+
+	// relayFlights coalesces identical relayed requests (key: path + raw
+	// body); cellFlights coalesces sweep cells by fit identity (key:
+	// PlannedCell.FitKey), which also catches *overlapping* grids whose
+	// bodies differ.
+	relayFlights *flights[relayResult]
+	cellFlights  *flights[service.SweepCell]
+
+	stop context.CancelFunc
+	wg   sync.WaitGroup
+}
+
+// New builds a Coordinator and starts its health probes (when
+// Config.ProbeInterval > 0). Workers start out presumed healthy.
+//
+//estima:allow ctxflow probes are background daemons owned by the Coordinator itself; Close is their cancellation
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Local == nil {
+		return nil, fmt.Errorf("cluster: Config.Local service is required")
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 50 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	c := &Coordinator{
+		cfg:          cfg,
+		workers:      make([]string, len(cfg.Workers)),
+		healthy:      make([]atomic.Bool, len(cfg.Workers)),
+		client:       cfg.Client,
+		relayFlights: newFlights[relayResult](),
+		cellFlights:  newFlights[service.SweepCell](),
+	}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	for i, addr := range cfg.Workers {
+		c.workers[i] = normalizeAddr(addr)
+		c.healthy[i].Store(true)
+	}
+	c.ring = ring.New(c.workers)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c.stop = cancel
+	if cfg.ProbeInterval > 0 {
+		for i := range c.workers {
+			c.wg.Add(1)
+			// One long-lived prober per configured worker; the fleet size is
+			// fixed at construction.
+			//estima:allow boundedspawn one prober goroutine per configured worker, bounded by the static fleet size
+			go c.probeLoop(ctx, i)
+		}
+	}
+	return c, nil
+}
+
+// Close stops the health probes. In-flight relays are not interrupted.
+func (c *Coordinator) Close() {
+	c.stop()
+	c.wg.Wait()
+}
+
+// normalizeAddr turns "host:port" into a base URL.
+func normalizeAddr(addr string) string {
+	if strings.Contains(addr, "://") {
+		return strings.TrimSuffix(addr, "/")
+	}
+	return "http://" + addr
+}
+
+// probeLoop probes one worker until ctx ends, flipping its health flag on
+// every verdict — so a worker that died (or was restarted) leaves (or
+// rejoins) the routing set within one interval.
+func (c *Coordinator) probeLoop(ctx context.Context, i int) {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			pctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+			c.healthy[i].Store(c.probeOnce(pctx, i))
+			cancel()
+		}
+	}
+}
+
+// probeOnce asks one worker's /healthz (which never blocks on its admission
+// gate, so saturation is not death).
+func (c *Coordinator) probeOnce(ctx context.Context, i int) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.workers[i]+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// relayResult is a worker's raw answer: relayed verbatim — byte-identical
+// bodies are the whole point, so the coordinator never re-encodes.
+type relayResult struct {
+	status     int
+	body       []byte
+	retryAfter string
+}
+
+// transientStatus reports the statuses worth failing over on: overload and
+// gateway-ish failures. Deterministic outcomes (2xx, 4xx, plain 500s)
+// relay verbatim — retrying cannot change them, and a fallback would only
+// reproduce the same bytes slower.
+func transientStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// post performs one worker request.
+func (c *Coordinator) post(ctx context.Context, url string, body []byte) (relayResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return relayResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return relayResult{}, err
+	}
+	defer resp.Body.Close()
+	// Worker responses went through the same MaxBodyBytes-capped encoder
+	// tier; the cap here only guards a corrupted peer.
+	b, err := io.ReadAll(io.LimitReader(resp.Body, service.MaxBodyBytes))
+	if err != nil {
+		return relayResult{}, err
+	}
+	return relayResult{status: resp.StatusCode, body: b, retryAfter: resp.Header.Get("Retry-After")}, nil
+}
+
+// backoff sleeps the jittered, doubling retry delay (or returns early when
+// ctx dies). Jitter decorrelates the retry storms of concurrent cells all
+// aimed at one struggling worker.
+func (c *Coordinator) backoff(ctx context.Context, attempt int) {
+	d := c.cfg.RetryBase << attempt
+	if ceil := 2 * time.Second; d > ceil {
+		d = ceil
+	}
+	d = d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// relay routes one request body along routeKey's failover sequence:
+// healthy workers in ring-successor order, each with a jittered retry
+// budget for transient failures. A worker that exhausts its budget is
+// marked unhealthy (probes revive it) and the next successor inherits its
+// range. ok=false means the whole fleet failed — the caller falls back to
+// the local service.
+func (c *Coordinator) relay(ctx context.Context, path, routeKey string, body []byte) (relayResult, bool) {
+	for _, wi := range c.ring.Seq(routeKey) {
+		if !c.healthy[wi].Load() {
+			continue
+		}
+		for attempt := 0; ; attempt++ {
+			if ctx.Err() != nil {
+				return relayResult{}, false
+			}
+			res, err := c.post(ctx, c.workers[wi]+path, body)
+			if err == nil && !transientStatus(res.status) {
+				return res, true
+			}
+			if attempt >= c.cfg.Retries {
+				c.healthy[wi].Store(false)
+				break
+			}
+			c.backoff(ctx, attempt)
+		}
+	}
+	return relayResult{}, false
+}
+
+// routeKeyFor extracts the routing identity from a request body: the
+// canonical workload and machine names. ok=false means the request is not
+// routable — undecodable, carries a replayed series (its data is in the
+// body, not in any shard), names nothing, or names something unknown — and
+// must be served by the local service so validation errors keep their
+// exact single-process bytes.
+func routeKeyFor(body []byte) (string, bool) {
+	var probe struct {
+		Workload string          `json:"workload"`
+		Machine  string          `json:"machine"`
+		Series   json.RawMessage `json:"series"`
+	}
+	if json.Unmarshal(body, &probe) != nil {
+		return "", false
+	}
+	if len(probe.Series) > 0 || probe.Workload == "" || probe.Machine == "" {
+		return "", false
+	}
+	w, err := workloads.Lookup(probe.Workload)
+	if err != nil {
+		return "", false
+	}
+	m, err := machine.Lookup(probe.Machine)
+	if err != nil {
+		return "", false
+	}
+	return service.RouteKey(w.Name(), m.Name), true
+}
+
+// relayHandler serves one POST endpoint by routing it across the fleet,
+// coalescing identical in-flight bodies, and delegating everything
+// unroutable (or fleet-orphaned) to the local bare handler — which is the
+// exact single-process code path, so bytes cannot diverge.
+func (c *Coordinator) relayHandler(path string, local http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, service.MaxBodyBytes+1))
+		if err != nil {
+			service.WriteError(w, err)
+			return
+		}
+		// Whatever happens next may re-read the body from the start.
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		key, ok := routeKeyFor(body)
+		if !ok || len(body) > service.MaxBodyBytes {
+			local.ServeHTTP(w, r)
+			return
+		}
+		res, err := c.relayFlights.do(r.Context(), path+"\x00"+string(body),
+			func(ctx context.Context) (relayResult, error) {
+				res, ok := c.relay(ctx, path, key, body)
+				if !ok {
+					return relayResult{}, errFleetDown
+				}
+				return res, nil
+			})
+		if err != nil {
+			// Fleet down (or this client gone): the local service is the
+			// last resort — cold, correct, slower.
+			local.ServeHTTP(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if res.retryAfter != "" {
+			w.Header().Set("Retry-After", res.retryAfter)
+		}
+		w.WriteHeader(res.status)
+		w.Write(res.body)
+	})
+}
+
+// errFleetDown marks a relay that exhausted every worker.
+var errFleetDown = fmt.Errorf("cluster: no healthy worker reachable")

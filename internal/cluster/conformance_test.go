@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// countingHandler wraps a worker handler and counts the /v1/* requests it
+// actually served — how tests observe routing and coalescing.
+type countingHandler struct {
+	inner http.Handler
+	hits  atomic.Int64
+}
+
+func (c *countingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		c.hits.Add(1)
+	}
+	c.inner.ServeHTTP(w, r)
+}
+
+// fleet is one in-process cluster: a coordinator over real HTTP workers.
+type fleet struct {
+	coord   *Coordinator
+	handler http.Handler
+	workers []*countingHandler
+	servers []*httptest.Server
+}
+
+// newFleet boots n workers (ordinary service handlers in -worker mode, over
+// real HTTP) and a coordinator routing across them. Probing is disabled and
+// retries are zero, so failure handling is deterministic: one failed
+// request fails a worker over for good.
+func newFleet(t *testing.T, n int, svcCfg service.Config) *fleet {
+	t.Helper()
+	f := &fleet{}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		svc, err := service.New(svcCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := &countingHandler{inner: service.NewHandler(svc, service.ServerConfig{Mode: "worker"})}
+		ts := httptest.NewServer(ch)
+		t.Cleanup(ts.Close)
+		f.workers = append(f.workers, ch)
+		f.servers = append(f.servers, ts)
+		addrs[i] = ts.URL
+	}
+	local, err := service.New(svcCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.coord, err = New(Config{Workers: addrs, Local: local})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.coord.Close)
+	f.handler = NewHandler(f.coord, service.ServerConfig{})
+	return f
+}
+
+// do performs one request against a handler.
+func do(t *testing.T, h http.Handler, method, path, body string) (int, []byte) {
+	t.Helper()
+	var rdr io.Reader
+	if body != "" {
+		rdr = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rdr)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes()
+}
+
+// serviceGolden reads a golden from the service conformance suite — the
+// single-process bytes the cluster is locked against. The cluster suite
+// never rewrites them; regenerate with `go test ./internal/service -update`.
+func serviceGolden(t *testing.T, file string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "service", "testdata", file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// conformanceCases is the service conformance suite's exact ordered case
+// list: same requests, same order, so the fleet's memo state evolves the
+// way the single process's did when the goldens were recorded.
+var conformanceCases = []struct {
+	golden string
+	method string
+	path   string
+	body   string
+}{
+	{"workloads.json", http.MethodGet, "/v1/workloads", ""},
+	{"machines.json", http.MethodGet, "/v1/machines", ""},
+	{"predict.json", http.MethodPost, "/v1/predict",
+		`{"api_version":"v1","workload":"intruder","machine":"Haswell","scale":0.05,"compare":true}`},
+	{"predict_boot.json", http.MethodPost, "/v1/predict",
+		`{"workload":"genome","machine":"Haswell","scale":0.05,"soft":true,"bootstrap":50}`},
+	{"sweep.json", http.MethodPost, "/v1/sweep",
+		`{"workloads":["intruder","genome"],"machines":["Haswell"],"scale":0.05}`},
+	{"collect.json", http.MethodPost, "/v1/collect",
+		`{"workload":"intruder","machine":"Haswell","cores":"1-2","scale":0.05}`},
+	{"curve.json", http.MethodPost, "/v1/curve",
+		`{"workload":"intruder","machine":"Haswell","cores":"1-3","scale":0.05}`},
+	{"workloads_schemas.json", http.MethodGet, "/v1/workloads?schemas=1", ""},
+	{"machines_schemas.json", http.MethodGet, "/v1/machines?schemas=1", ""},
+	{"predict_param.json", http.MethodPost, "/v1/predict",
+		`{"workload":"intruder?batch=4","machine":"Haswell?cores=2","scale":0.05,"compare":true}`},
+	{"sweep_param.json", http.MethodPost, "/v1/sweep",
+		`{"workloads":["intruder?batch=2,batch=4"],"machines":["Haswell?cores=2"],"scale":0.05}`},
+	{"collect_param.json", http.MethodPost, "/v1/collect",
+		`{"workload":"memcached?skew=3","machine":"Haswell","cores":"1-2","scale":0.05}`},
+	{"curve_param.json", http.MethodPost, "/v1/curve",
+		`{"workload":"sqlite?writepct=80","machine":"Haswell","cores":"1-2","scale":0.05}`},
+}
+
+// TestClusterConformance is the tentpole's lock: every service-suite golden
+// answered by a coordinator + 2 workers must be byte-identical to
+// single-process output. Responses travel request → coordinator → worker →
+// raw relay (or plan → cell fan-out → merge), and none of that may show in
+// the bytes.
+func TestClusterConformance(t *testing.T) {
+	f := newFleet(t, 2, service.Config{})
+	for _, c := range conformanceCases {
+		t.Run(c.golden, func(t *testing.T) {
+			status, body := do(t, f.handler, c.method, c.path, c.body)
+			if status != http.StatusOK {
+				t.Fatalf("status %d: %s", status, body)
+			}
+			if want := serviceGolden(t, c.golden); !bytes.Equal(body, want) {
+				t.Errorf("cluster body differs from single-process golden %s.\n--- single-process\n%s\n--- cluster\n%s",
+					c.golden, want, body)
+			}
+		})
+	}
+	// The compute endpoints must actually have been served by the fleet,
+	// not the local fallback.
+	var served int64
+	for _, w := range f.workers {
+		served += w.hits.Load()
+	}
+	if served == 0 {
+		t.Error("no worker served any /v1/* request; everything fell back to the local service")
+	}
+}
+
+// TestClusterStreamConformance locks the merged NDJSON stream — cell order
+// is plan order regardless of which worker answers first — against the
+// single-process sweep_stream.ndjson golden (recorded from a fresh service,
+// so the fleet is fresh too).
+func TestClusterStreamConformance(t *testing.T) {
+	f := newFleet(t, 2, service.Config{})
+	body := `{"workloads":["intruder","genome"],"machines":["Haswell"],"scale":0.05}`
+	status, got := do(t, f.handler, http.MethodPost, "/v1/sweep?stream=ndjson", body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, got)
+	}
+	if want := serviceGolden(t, "sweep_stream.ndjson"); !bytes.Equal(got, want) {
+		t.Errorf("cluster stream differs from single-process golden.\n--- single-process\n%s\n--- cluster\n%s", want, got)
+	}
+}
+
+// TestRegistryAnsweredLocally: /v1/workloads and /v1/machines come from the
+// coordinator's own registry, never the fleet — the same bytes whether the
+// workers are alive, dead, or absent.
+func TestRegistryAnsweredLocally(t *testing.T) {
+	f := newFleet(t, 2, service.Config{})
+	for _, s := range f.servers {
+		s.Close() // the whole fleet is down
+	}
+	for _, c := range []struct{ golden, path string }{
+		{"workloads.json", "/v1/workloads"},
+		{"machines.json", "/v1/machines"},
+		{"workloads_schemas.json", "/v1/workloads?schemas=1"},
+		{"machines_schemas.json", "/v1/machines?schemas=1"},
+	} {
+		status, body := do(t, f.handler, http.MethodGet, c.path, "")
+		if status != http.StatusOK {
+			t.Fatalf("GET %s with dead fleet: status %d", c.path, status)
+		}
+		if want := serviceGolden(t, c.golden); !bytes.Equal(body, want) {
+			t.Errorf("GET %s with dead fleet differs from golden %s", c.path, c.golden)
+		}
+	}
+	for i, w := range f.workers {
+		if w.hits.Load() != 0 {
+			t.Errorf("worker %d saw %d /v1/* requests for registry endpoints", i, w.hits.Load())
+		}
+	}
+}
+
+// TestValidationBytesMatchSingleProcess: requests the coordinator cannot
+// route (unknown names, malformed JSON, replayed series) delegate to the
+// embedded local service, so error bodies — including did-you-mean
+// suggestions — are byte-identical to a single process's.
+func TestValidationBytesMatchSingleProcess(t *testing.T) {
+	f := newFleet(t, 2, service.Config{})
+	single, err := service.New(service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := service.NewHandler(single, service.ServerConfig{})
+	cases := []struct {
+		name, path, body string
+		wantStatus       int
+	}{
+		{"unknown workload", "/v1/predict", `{"workload":"intrudr","machine":"Haswell"}`, http.StatusBadRequest},
+		{"unknown machine", "/v1/predict", `{"workload":"intruder","machine":"Haswel"}`, http.StatusBadRequest},
+		{"malformed json", "/v1/predict", `{"workload":`, http.StatusBadRequest},
+		{"unknown field", "/v1/predict", `{"wrkload":"intruder"}`, http.StatusBadRequest},
+		{"bad version", "/v1/collect", `{"api_version":"v9","workload":"intruder","machine":"Haswell"}`, http.StatusBadRequest},
+		{"bad cell options", "/v1/cell", `{"workload":"intruder","machine":"Haswell","bootstrap":-1}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ss, sb := do(t, sh, http.MethodPost, c.path, c.body)
+			cs, cb := do(t, f.handler, http.MethodPost, c.path, c.body)
+			if ss != c.wantStatus || cs != c.wantStatus {
+				t.Fatalf("status single=%d cluster=%d, want %d", ss, cs, c.wantStatus)
+			}
+			if !bytes.Equal(sb, cb) {
+				t.Errorf("error bytes differ.\n--- single\n%s\n--- cluster\n%s", sb, cb)
+			}
+		})
+	}
+}

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// flight is one in-flight computation shared by every request that asked
+// for the same key while it ran.
+type flight[T any] struct {
+	// done is closed when the leader finishes; val and err are immutable
+	// afterwards (happens-before via the close).
+	done chan struct{}
+	val  T
+	err  error
+	// waiters and cancel are guarded by the registry mutex; the last waiter
+	// to give up cancels the shared work.
+	waiters int
+	cancel  context.CancelFunc
+}
+
+// flights is the cross-request coalescing registry: overlapping requests —
+// from *different* clients, which is what per-request singleflight inside a
+// worker cannot see — share one execution per key while it is in flight.
+// It is deliberately not a cache: completed entries are removed immediately
+// (the workers' store, series memo and fit LRU are the durable layers), so
+// the registry holds exactly the currently running DAG nodes.
+type flights[T any] struct {
+	mu sync.Mutex
+	m  map[string]*flight[T]
+	// started counts executions actually run; hits counts requests answered
+	// by joining one already in flight. Exposed on /readyz.
+	started atomic.Int64
+	hits    atomic.Int64
+}
+
+func newFlights[T any]() *flights[T] {
+	return &flights[T]{m: map[string]*flight[T]{}}
+}
+
+// do returns fn's result for key, executing it at most once across all
+// concurrent callers. The execution is detached from any single caller's
+// context — one client's disconnect must not fail the others — and is
+// cancelled only when every waiter has given up. Completed flights leave
+// the registry before their waiters return, so a later identical request
+// starts (or joins) a fresh execution.
+func (f *flights[T]) do(ctx context.Context, key string, fn func(ctx context.Context) (T, error)) (T, error) {
+	f.mu.Lock()
+	fl, ok := f.m[key]
+	if !ok {
+		cctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+		fl = &flight[T]{done: make(chan struct{}), cancel: cancel}
+		f.m[key] = fl
+		f.started.Add(1)
+		go func() {
+			defer cancel()
+			v, err := fn(cctx)
+			f.mu.Lock()
+			fl.val, fl.err = v, err
+			delete(f.m, key)
+			f.mu.Unlock()
+			close(fl.done)
+		}()
+	} else {
+		f.hits.Add(1)
+	}
+	fl.waiters++
+	f.mu.Unlock()
+
+	select {
+	case <-fl.done:
+		f.mu.Lock()
+		fl.waiters--
+		f.mu.Unlock()
+		return fl.val, fl.err
+	case <-ctx.Done():
+		f.mu.Lock()
+		fl.waiters--
+		if fl.waiters == 0 {
+			select {
+			case <-fl.done: // finished anyway
+			default:
+				fl.cancel()
+			}
+		}
+		f.mu.Unlock()
+		var zero T
+		return zero, ctx.Err()
+	}
+}
+
+// stats snapshots the lifetime counters.
+func (f *flights[T]) stats() (started, hits int64) {
+	return f.started.Load(), f.hits.Load()
+}

@@ -1,0 +1,106 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("workload-%d\x00machine-%d", i, i%7)
+	}
+	return out
+}
+
+func TestSeqDeterministicAndComplete(t *testing.T) {
+	nodes := []string{"w1:9001", "w2:9002", "w3:9003"}
+	a, b := New(nodes), New(nodes)
+	for _, k := range keys(200) {
+		sa, sb := a.Seq(k), b.Seq(k)
+		if len(sa) != len(nodes) {
+			t.Fatalf("Seq(%q) = %v: want every node exactly once", k, sa)
+		}
+		seen := map[int]bool{}
+		for i, n := range sa {
+			if n != sb[i] {
+				t.Fatalf("Seq(%q) differs across identical rings: %v vs %v", k, sa, sb)
+			}
+			if n < 0 || n >= len(nodes) || seen[n] {
+				t.Fatalf("Seq(%q) = %v: invalid or repeated node index", k, sa)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestSeqEmptyRing(t *testing.T) {
+	if got := New(nil).Seq("anything"); got != nil {
+		t.Fatalf("empty ring Seq = %v, want nil", got)
+	}
+}
+
+func TestSharesBalance(t *testing.T) {
+	nodes := []string{"w1:9001", "w2:9002", "w3:9003"}
+	shares := New(nodes).Shares()
+	var total float64
+	for i, s := range shares {
+		total += s
+		// 160 virtual points keep each node within a loose band of the
+		// uniform 1/3; the bound only guards against gross imbalance (a
+		// broken hash or arc computation), not statistical wobble.
+		if s < 0.15 || s > 0.55 {
+			t.Errorf("node %d owns share %.3f, outside [0.15, 0.55]", i, s)
+		}
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("shares sum to %.6f, want 1", total)
+	}
+}
+
+// TestMinimalRemapping is the property consistent hashing exists for:
+// growing the fleet moves keys only onto the new node, never between
+// existing nodes — so existing workers keep their warmed stores and memos.
+func TestMinimalRemapping(t *testing.T) {
+	old := New([]string{"w1:9001", "w2:9002", "w3:9003"})
+	grown := New([]string{"w1:9001", "w2:9002", "w3:9003", "w4:9004"})
+	moved := 0
+	ks := keys(500)
+	for _, k := range ks {
+		before, after := old.Seq(k)[0], grown.Seq(k)[0]
+		if before != after {
+			if grown.Node(after) != "w4:9004" {
+				t.Fatalf("key %q moved from %s to %s, not to the new node",
+					k, old.Node(before), grown.Node(after))
+			}
+			moved++
+		}
+	}
+	// Roughly 1/4 of keys should move to the fourth node.
+	if moved == 0 || moved > len(ks)/2 {
+		t.Fatalf("%d/%d keys moved to the new node, want ~1/4", moved, len(ks))
+	}
+}
+
+// TestFailoverSkipsOnlyTheDeadNode: removing a node entirely re-ranks every
+// key exactly as walking past the dead node in the old Seq would — the
+// failover order is consistent with a membership change, so routing around
+// a dead worker and rebuilding the ring without it agree.
+func TestFailoverSkipsOnlyTheDeadNode(t *testing.T) {
+	nodes := []string{"w1:9001", "w2:9002", "w3:9003"}
+	full := New(nodes)
+	without := New([]string{"w1:9001", "w3:9003"}) // w2 removed
+	for _, k := range keys(200) {
+		var walked string
+		for _, idx := range full.Seq(k) {
+			if full.Node(idx) != "w2:9002" {
+				walked = full.Node(idx)
+				break
+			}
+		}
+		direct := without.Node(without.Seq(k)[0])
+		if walked != direct {
+			t.Fatalf("key %q: failover walk gives %s, shrunken ring gives %s", k, walked, direct)
+		}
+	}
+}

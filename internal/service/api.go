@@ -264,6 +264,80 @@ type CurveResponse struct {
 	Decoded *counters.Series `json:"-"`
 }
 
+// CellRequest asks for exactly one sweep cell: workload × machine, measured
+// over the machine's one-processor window (or MeasCores) and extrapolated to
+// its full core count. It is the unit the cluster coordinator routes to
+// workers — a sweep fans out as one CellRequest per planned cell — but the
+// endpoint is ordinary API surface any client may use.
+type CellRequest struct {
+	APIVersion string `json:"api_version,omitempty"`
+	// Workload and Machine name the scenario; the coordinator always sends
+	// canonical spec names so every tier agrees on cache identity.
+	Workload string `json:"workload"`
+	Machine  string `json:"machine"`
+	// MeasCores overrides the one-processor measurement window (0 = auto).
+	MeasCores int `json:"meas_cores,omitempty"`
+	// Scale is the dataset scale; 0 means 1.
+	Scale float64 `json:"scale,omitempty"`
+	// Soft / Bootstrap / CILevel mirror the SweepRequest options.
+	Soft      bool    `json:"soft,omitempty"`
+	Bootstrap int     `json:"bootstrap,omitempty"`
+	CILevel   float64 `json:"ci_level,omitempty"`
+}
+
+// CellResponse is the finished cell. Execution failures land in
+// Cell.Error (exactly as they would inside a sweep), never in the HTTP
+// status: the coordinator must be able to merge them into a stream.
+type CellResponse struct {
+	APIVersion string    `json:"api_version"`
+	Cell       SweepCell `json:"cell"`
+}
+
+// ReadyResponse is the GET /readyz body: what this process is (Mode:
+// "single", "worker" or "coordinator"), what it owns, and how loaded its
+// admission gate is. A coordinator additionally aggregates its workers'
+// readiness and its coalescing counters.
+type ReadyResponse struct {
+	APIVersion string `json:"api_version"`
+	Status     string `json:"status"`
+	Mode       string `json:"mode"`
+	// StoreDir is the measurement store this process owns ("" when purely
+	// in-memory) — on a worker, its shard.
+	StoreDir string `json:"store_dir,omitempty"`
+	// Capacity and Queue are the admission gate: the in-flight bound and the
+	// per-endpoint depth gauges in registration order.
+	Capacity int             `json:"capacity"`
+	Queue    []EndpointDepth `json:"queue"`
+	// Workers is the coordinator's aggregate: one entry per configured
+	// worker, in configuration order.
+	Workers []WorkerReady `json:"workers,omitempty"`
+	// Coalesce is the coordinator's cross-request coalescing counters, one
+	// per shared-flight class.
+	Coalesce []CoalesceStat `json:"coalesce,omitempty"`
+}
+
+// WorkerReady is one worker's slot in the coordinator's /readyz aggregate.
+type WorkerReady struct {
+	Addr string `json:"addr"`
+	// Healthy is the probe verdict the router currently acts on; Share is
+	// the fraction of the hash ring this worker owns first-choice.
+	Healthy bool    `json:"healthy"`
+	Share   float64 `json:"share"`
+	// Ready is the worker's own /readyz body (nil when unreachable; Error
+	// then says why).
+	Ready *ReadyResponse `json:"ready,omitempty"`
+	Error string         `json:"error,omitempty"`
+}
+
+// CoalesceStat counts cross-request coalescing for one flight class:
+// Started flights actually executed, Hits answered by joining one already
+// in flight from another client.
+type CoalesceStat struct {
+	Endpoint string `json:"endpoint"`
+	Started  int64  `json:"started"`
+	Hits     int64  `json:"hits"`
+}
+
 // ListRequest asks for the registered workloads and machine presets.
 // Verbose additionally returns every family's parameter schema — the keys,
 // types, bounds and defaults the spec grammar (`name?key=val,...`) accepts.

@@ -432,6 +432,123 @@ func (s *Service) planSweep(req SweepRequest) (*sweepPlan, error) {
 	return plan, nil
 }
 
+// RouteKey is the shard identity of a scenario: the canonical workload and
+// machine names, NUL-joined (both are spec-canonical, so neither contains a
+// NUL). Deliberately coarser than the full series/artifact key: every
+// schedule, scale and option variant of one scenario routes to the same
+// worker, so that worker's store can prefix-window 1..K requests from any
+// cached 1..N series and its fit memo sees every option variant of the
+// series it owns.
+//
+//estima:canonical workload machine
+func RouteKey(workload, machine string) string {
+	return workload + "\x00" + machine
+}
+
+// PlannedCell is one routable unit of a planned sweep: the resolved cell
+// coordinates plus its routing and dedup identities.
+type PlannedCell struct {
+	// Workload and Machine are canonical spec names; MeasCores and Scale are
+	// resolved (never zero).
+	Workload  string
+	Machine   string
+	MeasCores int
+	Scale     float64
+	// RouteKey shards the cell onto a worker; FitKey identifies its
+	// fit+predict step, so cells sharing one (overlapping grids, possibly
+	// from different clients) can share one execution.
+	RouteKey string
+	FitKey   string
+}
+
+// PlannedSweep is the coordinator's view of a validated, decomposed
+// SweepRequest: every cell in deterministic plan order (workload-major,
+// machine-minor — the order the merged stream must reproduce) plus the
+// summary counts the final record reports.
+type PlannedSweep struct {
+	Workloads      []string
+	Machines       []string
+	Cells          []PlannedCell
+	Workers        int
+	DistinctSeries int
+	DistinctFits   int
+}
+
+// PlanSweep validates and decomposes a SweepRequest without executing it —
+// the cluster coordinator plans locally, routes each cell to the worker
+// owning its RouteKey, and merges. Identical validation and identical plan
+// order are what make coordinator responses byte-identical to
+// single-process ones.
+func (s *Service) PlanSweep(req SweepRequest) (*PlannedSweep, error) {
+	plan, err := s.planSweep(req)
+	if err != nil {
+		return nil, err
+	}
+	out := &PlannedSweep{
+		Workloads:      plan.workloads,
+		Machines:       plan.machineNames,
+		Cells:          make([]PlannedCell, len(plan.cells)),
+		Workers:        plan.workers,
+		DistinctSeries: plan.distinctSeries,
+		DistinctFits:   plan.distinctFits,
+	}
+	for i, pc := range plan.cells {
+		out.Cells[i] = PlannedCell{
+			Workload:  pc.workload,
+			Machine:   pc.mach.Name,
+			MeasCores: pc.measCores,
+			Scale:     pc.scale,
+			RouteKey:  RouteKey(pc.workload, pc.mach.Name),
+			FitKey:    pc.fitID,
+		}
+	}
+	return out, nil
+}
+
+// Cell answers a CellRequest: exactly one sweep cell, executed through the
+// same planner path as a cell inside a sweep, so the resulting SweepCell is
+// byte-identical to the one a single-process sweep would emit. Validation
+// mirrors planSweep's option checks; execution failures are recorded in the
+// cell, not returned (the coordinator merges them into streams).
+func (s *Service) Cell(ctx context.Context, req CellRequest) (*CellResponse, error) {
+	if err := checkVersion(req.APIVersion); err != nil {
+		return nil, err
+	}
+	if req.Bootstrap < 0 {
+		return nil, badRequest("negative bootstrap count %d", req.Bootstrap)
+	}
+	if req.CILevel != 0 && (req.CILevel <= 0 || req.CILevel >= 100) {
+		return nil, badRequest("confidence level %g%% outside (0, 100)", req.CILevel)
+	}
+	w, m, err := resolve(req.Workload, req.Machine)
+	if err != nil {
+		return nil, err
+	}
+	measCores := req.MeasCores
+	if measCores <= 0 {
+		measCores = m.OneProcessorCores()
+	}
+	pc := planCell{
+		workload:  w.Name(),
+		w:         w,
+		mach:      m,
+		measCores: measCores,
+		scale:     defaultScale(req.Scale),
+		targets:   sim.CoreRange(m.NumCores()),
+		opt: core.Options{
+			UseSoftware: req.Soft,
+			Bootstrap:   req.Bootstrap,
+			CILevel:     req.CILevel,
+			Workers:     1,
+		},
+	}
+	cell := s.runPlanCell(ctx, pc)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &CellResponse{APIVersion: APIVersion, Cell: cell}, nil
+}
+
 // runPlanCell executes one cell through the planner. Failures are recorded
 // in the cell, never propagated: one pathological pair must not sink the
 // matrix.
