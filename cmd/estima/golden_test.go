@@ -58,6 +58,19 @@ var goldenCases = []struct {
 		return cmdCurve(bg, []string{"-w", "intruder", "-m", "Haswell",
 			"-cores", "1-4", "-scale", "0.05"})
 	}},
+	{"diagnose_memcached_xeon20.golden", func() error {
+		return cmdDiagnose(bg, []string{"-w", "memcached?skew=3", "-m", "Haswell",
+			"-target", "Xeon20", "-scale", "0.05", "-soft"})
+	}},
+	// The JSON form is the exact /v1/diagnose response body — CI cmp's it
+	// against a live coordinator's answer.
+	{"diagnose_memcached_xeon20_json.golden", func() error {
+		return cmdDiagnose(bg, []string{"-w", "memcached?skew=3", "-m", "Haswell",
+			"-target", "Xeon20", "-scale", "0.05", "-soft", "-format", "json"})
+	}},
+	{"diagnose_intruder_haswell.golden", func() error {
+		return cmdDiagnose(bg, []string{"-w", "intruder", "-m", "Haswell", "-scale", "0.05"})
+	}},
 }
 
 func TestGoldenOutputs(t *testing.T) {

@@ -52,6 +52,8 @@ func run(ctx context.Context, args []string) int {
 		err = cmdSweep(ctx, args[1:])
 	case "bottleneck":
 		err = cmdBottleneck(ctx, args[1:])
+	case "diagnose":
+		err = cmdDiagnose(ctx, args[1:])
 	case "serve":
 		err = cmdServe(ctx, args[1:])
 	case "-h", "--help", "help":
@@ -90,6 +92,8 @@ commands:
               series collected with 'collect -o')
   sweep       predict the full workload x machine matrix in parallel
   bottleneck  report predicted stall bottlenecks by code site
+  diagnose    explain a scenario's predicted bottlenecks: category shares,
+              crossover points, the scaling killer, and a relief knob
   serve       serve the prediction API over HTTP (/v1/*); -worker and
               -coordinator -peers=... scale one fleet out over shards
 `)

@@ -51,6 +51,8 @@ func TestRunExitCodes(t *testing.T) {
 		{"param out of bounds", []string{"predict", "-w", "memcached?skew=99", "-m", "Haswell"}, 1, "outside [1, 8]"},
 		{"machine param typo", []string{"predict", "-w", "intruder", "-m", "Haswell?coers=2"}, 1, `did you mean "cores"?`},
 		{"bad cores caught client-side", []string{"curve", "-w", "intruder", "-m", "Haswell", "-cores", "x"}, 1, "bad core count"},
+		{"diagnose typo suggestion", []string{"diagnose", "-w", "intrduer", "-m", "Haswell"}, 1, `did you mean "intruder"?`},
+		{"diagnose bad format", []string{"diagnose", "-w", "intruder", "-m", "Haswell", "-format", "xml"}, 1, "must be table or json"},
 		{"success", []string{"list"}, 0, ""},
 		{"help", []string{"help"}, 0, ""},
 	}

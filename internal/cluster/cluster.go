@@ -28,6 +28,7 @@ import (
 	"io"
 	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -229,15 +230,27 @@ func (c *Coordinator) post(ctx context.Context, url string, body []byte) (relayR
 	return relayResult{status: resp.StatusCode, body: b, retryAfter: resp.Header.Get("Retry-After")}, nil
 }
 
-// backoff sleeps the jittered, doubling retry delay (or returns early when
-// ctx dies). Jitter decorrelates the retry storms of concurrent cells all
-// aimed at one struggling worker.
-func (c *Coordinator) backoff(ctx context.Context, attempt int) {
-	d := c.cfg.RetryBase << attempt
-	if ceil := 2 * time.Second; d > ceil {
-		d = ceil
+// backoffCeil bounds any single retry delay, hinted or not.
+const backoffCeil = 2 * time.Second
+
+// backoff sleeps the retry delay before the next attempt (or returns early
+// when ctx dies). A worker that 429'd with a Retry-After hint is believed —
+// it knows its own queue depth — capped at the ceiling; without a hint the
+// delay is the jittered, doubling schedule. Jitter decorrelates the retry
+// storms of concurrent cells all aimed at one struggling worker; a hinted
+// delay needs none, because the worker scales its hints with load.
+func (c *Coordinator) backoff(ctx context.Context, attempt int, hint time.Duration) {
+	d := hint
+	if d > backoffCeil {
+		d = backoffCeil
 	}
-	d = d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+	if d <= 0 {
+		d = c.cfg.RetryBase << attempt
+		if d > backoffCeil {
+			d = backoffCeil
+		}
+		d = d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -246,33 +259,61 @@ func (c *Coordinator) backoff(ctx context.Context, attempt int) {
 	}
 }
 
+// retryAfterHint parses a worker's Retry-After header (the delay-seconds
+// form — the only one this tier emits). 0 means no usable hint.
+func retryAfterHint(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // relay routes one request body along routeKey's failover sequence:
-// healthy workers in ring-successor order, each with a jittered retry
-// budget for transient failures. A worker that exhausts its budget is
-// marked unhealthy (probes revive it) and the next successor inherits its
-// range. ok=false means the whole fleet failed — the caller falls back to
-// the local service.
-func (c *Coordinator) relay(ctx context.Context, path, routeKey string, body []byte) (relayResult, bool) {
+// healthy workers in ring-successor order, each with a retry budget for
+// transient failures (429 delays honor the worker's Retry-After hint). A
+// worker that exhausts its budget is marked unhealthy (probes revive it)
+// and the next successor inherits its range. The error distinguishes the
+// two ways a relay ends without an answer: ctx's own error when the caller
+// died mid-relay (no worker is at fault, and no fallback must run for a
+// client that already hung up), errFleetDown when every worker failed (the
+// caller falls back to the local service).
+func (c *Coordinator) relay(ctx context.Context, path, routeKey string, body []byte) (relayResult, error) {
 	for _, wi := range c.ring.Seq(routeKey) {
 		if !c.healthy[wi].Load() {
 			continue
 		}
 		for attempt := 0; ; attempt++ {
-			if ctx.Err() != nil {
-				return relayResult{}, false
+			if err := ctx.Err(); err != nil {
+				return relayResult{}, err
 			}
 			res, err := c.post(ctx, c.workers[wi]+path, body)
 			if err == nil && !transientStatus(res.status) {
-				return res, true
+				return res, nil
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				// The failure is the caller's own death, not the worker's:
+				// don't burn its health budget, just report the cancellation.
+				return relayResult{}, cerr
 			}
 			if attempt >= c.cfg.Retries {
 				c.healthy[wi].Store(false)
 				break
 			}
-			c.backoff(ctx, attempt)
+			var hint time.Duration
+			if err == nil && res.status == http.StatusTooManyRequests {
+				hint = retryAfterHint(res.retryAfter)
+			}
+			c.backoff(ctx, attempt, hint)
 		}
 	}
-	return relayResult{}, false
+	if err := ctx.Err(); err != nil {
+		return relayResult{}, err
+	}
+	return relayResult{}, errFleetDown
 }
 
 // routeKeyFor extracts the routing identity from a request body: the
@@ -324,15 +365,18 @@ func (c *Coordinator) relayHandler(path string, local http.Handler) http.Handler
 		}
 		res, err := c.relayFlights.do(r.Context(), path+"\x00"+string(body),
 			func(ctx context.Context) (relayResult, error) {
-				res, ok := c.relay(ctx, path, key, body)
-				if !ok {
-					return relayResult{}, errFleetDown
-				}
-				return res, nil
+				return c.relay(ctx, path, key, body)
 			})
 		if err != nil {
-			// Fleet down (or this client gone): the local service is the
-			// last resort — cold, correct, slower.
+			if cerr := r.Context().Err(); cerr != nil {
+				// This client hung up mid-relay. Answer its context error
+				// (nobody may be listening, but proxies get a truthful 499)
+				// instead of burning a full local simulation for it.
+				service.WriteError(w, cerr)
+				return
+			}
+			// Fleet down: the local service is the last resort — cold,
+			// correct, slower.
 			local.ServeHTTP(w, r)
 			return
 		}

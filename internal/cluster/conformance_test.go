@@ -125,6 +125,10 @@ var conformanceCases = []struct {
 		`{"workload":"memcached?skew=3","machine":"Haswell","cores":"1-2","scale":0.05}`},
 	{"curve_param.json", http.MethodPost, "/v1/curve",
 		`{"workload":"sqlite?writepct=80","machine":"Haswell","cores":"1-2","scale":0.05}`},
+	{"diagnose.json", http.MethodPost, "/v1/diagnose",
+		`{"workload":"memcached?skew=3","machine":"Haswell","target":"Xeon20","scale":0.05,"soft":true}`},
+	{"diagnose_hw.json", http.MethodPost, "/v1/diagnose",
+		`{"workload":"intruder","machine":"Haswell","scale":0.05}`},
 }
 
 // TestClusterConformance is the tentpole's lock: every service-suite golden
@@ -202,6 +206,42 @@ func TestRegistryAnsweredLocally(t *testing.T) {
 	}
 }
 
+// TestClusterDiagnoseGetMatchesSingleProcess: the GET verb of /v1/diagnose
+// goes query → canonical POST body → relay, and still answers the exact
+// single-process bytes — for success (the service-suite golden) and for
+// query parse errors alike.
+func TestClusterDiagnoseGetMatchesSingleProcess(t *testing.T) {
+	f := newFleet(t, 2, service.Config{})
+	single, err := service.New(service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := service.NewHandler(single, service.ServerConfig{})
+
+	path := "/v1/diagnose?workload=memcached%3Fskew%3D3&machine=Haswell&target=Xeon20&scale=0.05&soft=true"
+	ss, sb := do(t, sh, http.MethodGet, path, "")
+	cs, cb := do(t, f.handler, http.MethodGet, path, "")
+	if ss != http.StatusOK || cs != http.StatusOK {
+		t.Fatalf("status single=%d cluster=%d, want 200/200 (%s)", ss, cs, cb)
+	}
+	if !bytes.Equal(sb, cb) {
+		t.Errorf("GET diagnose bytes differ.\n--- single\n%s\n--- cluster\n%s", sb, cb)
+	}
+	if want := serviceGolden(t, "diagnose.json"); !bytes.Equal(cb, want) {
+		t.Errorf("cluster GET diagnose differs from the POST golden diagnose.json")
+	}
+
+	bad := "/v1/diagnose?workload=intruder&machine=Haswell&scale=lots"
+	ss, sb = do(t, sh, http.MethodGet, bad, "")
+	cs, cb = do(t, f.handler, http.MethodGet, bad, "")
+	if ss != http.StatusBadRequest || cs != http.StatusBadRequest {
+		t.Fatalf("bad query status single=%d cluster=%d, want 400/400", ss, cs)
+	}
+	if !bytes.Equal(sb, cb) {
+		t.Errorf("bad-query error bytes differ.\n--- single\n%s\n--- cluster\n%s", sb, cb)
+	}
+}
+
 // TestValidationBytesMatchSingleProcess: requests the coordinator cannot
 // route (unknown names, malformed JSON, replayed series) delegate to the
 // embedded local service, so error bodies — including did-you-mean
@@ -223,6 +263,8 @@ func TestValidationBytesMatchSingleProcess(t *testing.T) {
 		{"unknown field", "/v1/predict", `{"wrkload":"intruder"}`, http.StatusBadRequest},
 		{"bad version", "/v1/collect", `{"api_version":"v9","workload":"intruder","machine":"Haswell"}`, http.StatusBadRequest},
 		{"bad cell options", "/v1/cell", `{"workload":"intruder","machine":"Haswell","bootstrap":-1}`, http.StatusBadRequest},
+		{"diagnose unknown workload", "/v1/diagnose", `{"workload":"intrudr","machine":"Haswell"}`, http.StatusBadRequest},
+		{"diagnose bad checkpoints", "/v1/diagnose", `{"workload":"intruder","machine":"Haswell","checkpoints":-2}`, http.StatusBadRequest},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

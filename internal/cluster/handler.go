@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"io"
@@ -37,11 +38,41 @@ func NewHandler(c *Coordinator, cfg service.ServerConfig) http.Handler {
 	mux.Handle("POST /v1/collect", gate.Wrap("collect", c.relayHandler("/v1/collect", service.CollectHandler(local))))
 	mux.Handle("POST /v1/curve", gate.Wrap("curve", c.relayHandler("/v1/curve", service.CurveHandler(local))))
 	mux.Handle("POST /v1/cell", gate.Wrap("cell", c.relayHandler("/v1/cell", service.CellHandler(local))))
+	// Diagnose routes like every other scenario-keyed POST; the GET verb
+	// converts its query into the canonical POST body first, so both verbs
+	// share one relay (and coalesce with equivalent POSTs in flight).
+	mux.Handle("POST /v1/diagnose", gate.Wrap("diagnose", c.relayHandler("/v1/diagnose", service.DiagnoseHandler(local))))
+	mux.Handle("GET /v1/diagnose", gate.Wrap("diagnose", c.diagnoseGetHandler()))
 	// Registry endpoints answer from the local service, never the fleet:
 	// what exists cannot depend on which workers are up.
 	mux.Handle("GET /v1/workloads", gate.Wrap("workloads", service.WorkloadsHandler(local.List)))
 	mux.Handle("GET /v1/machines", gate.Wrap("machines", service.MachinesHandler(local.List)))
 	return mux
+}
+
+// diagnoseGetHandler serves GET /v1/diagnose: parse the query exactly as a
+// single process would (a bad query answers the identical error bytes),
+// marshal it into the canonical POST body, and route that through the same
+// relay path as POST /v1/diagnose — so both verbs coalesce together and a
+// worker only ever sees the POST form.
+func (c *Coordinator) diagnoseGetHandler() http.Handler {
+	post := c.relayHandler("/v1/diagnose", service.DiagnoseHandler(c.cfg.Local))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		req, err := service.DiagnoseRequestFromQuery(r.URL.Query())
+		if err != nil {
+			service.WriteError(w, err)
+			return
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			service.WriteError(w, err)
+			return
+		}
+		pr := r.Clone(r.Context())
+		pr.Method = http.MethodPost
+		pr.Body = io.NopCloser(bytes.NewReader(body))
+		post.ServeHTTP(w, pr)
+	})
 }
 
 // readyFanout bounds concurrent worker /readyz fetches.

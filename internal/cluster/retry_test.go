@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/counters"
+	"repro/internal/machine"
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+// TestBackoffHonorsRetryAfterHint: a worker that answers 429 with a
+// Retry-After hint is retried after the hinted delay — not after the
+// coordinator's own RetryBase schedule, which here is a thousandth of the
+// hint. The old backoff ignored relayResult.retryAfter entirely.
+func TestBackoffHonorsRetryAfterHint(t *testing.T) {
+	var calls atomic.Int64
+	var firstAt, secondAt atomic.Int64
+	worker := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			firstAt.Store(time.Now().UnixNano())
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+		default:
+			secondAt.Store(time.Now().UnixNano())
+			w.Write([]byte(`{}`))
+		}
+	}))
+	defer worker.Close()
+
+	local, err := service.New(service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{
+		Workers:   []string{worker.URL},
+		Local:     local,
+		Retries:   1,
+		RetryBase: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	res, err := c.relay(bg, "/v1/predict", "key", []byte(`{}`))
+	if err != nil || res.status != http.StatusOK {
+		t.Fatalf("relay after hinted retry: status=%d err=%v", res.status, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("worker saw %d requests, want 2 (429 then success)", calls.Load())
+	}
+	gap := time.Duration(secondAt.Load() - firstAt.Load())
+	if gap < 900*time.Millisecond {
+		t.Errorf("retry arrived %v after the 429, want >= ~1s (the Retry-After hint, not RetryBase)", gap)
+	}
+	if gap > backoffCeil+time.Second {
+		t.Errorf("retry arrived %v after the 429, beyond any sane hint honor window", gap)
+	}
+}
+
+// TestBackoffCapsOversizedHints: a worker demanding a huge Retry-After is
+// believed only up to the ceiling — one struggling worker must not park the
+// coordinator for a minute.
+func TestBackoffCapsOversizedHints(t *testing.T) {
+	local, err := service.New(service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{Workers: []string{"127.0.0.1:0"}, Local: local, RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	c.backoff(bg, 0, 60*time.Second)
+	if d := time.Since(start); d < backoffCeil-100*time.Millisecond || d > backoffCeil+time.Second {
+		t.Errorf("backoff with a 60s hint slept %v, want the %v ceiling", d, backoffCeil)
+	}
+}
+
+// TestRetryAfterHintParsing pins the header grammar this tier accepts: bare
+// delay-seconds. Anything else (HTTP dates, junk, non-positive) is no hint.
+func TestRetryAfterHintParsing(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"2", 2 * time.Second},
+		{"1", time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{"soon", 0},
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0},
+	}
+	for _, c := range cases {
+		if got := retryAfterHint(c.in); got != c.want {
+			t.Errorf("retryAfterHint(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestClientCancelSkipsLocalFallback is the relay bugfix lock, meaningful
+// under -race: when the *client* dies mid-relay, the coordinator answers the
+// context error (499) immediately — it must not mistake the client's death
+// for fleet failure and burn a full local simulation for a request nobody is
+// waiting on.
+func TestClientCancelSkipsLocalFallback(t *testing.T) {
+	// The worker parks every request until its client (the coordinator's
+	// relay) disconnects.
+	reached := make(chan struct{}, 16)
+	worker := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body first: net/http only watches for client disconnects
+		// (and cancels r.Context()) once the request body is consumed.
+		io.Copy(io.Discard, r.Body)
+		reached <- struct{}{}
+		<-r.Context().Done()
+	}))
+	defer worker.Close()
+
+	// Any local simulation after the cancellation would be the bug.
+	var localSims atomic.Int64
+	local, err := service.New(service.Config{
+		CollectSample: func(w sim.Workload, m *machine.Config, cores int, scale float64) (counters.Sample, error) {
+			localSims.Add(1)
+			return sim.Collect(w, m, cores, scale)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{Workers: []string{worker.URL}, Local: local, RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	h := NewHandler(c, service.ServerConfig{})
+
+	ctx, cancel := context.WithCancel(bg)
+	body := `{"workload":"intruder","machine":"Haswell","scale":0.05}`
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(body)).WithContext(ctx)
+		h.ServeHTTP(rec, req)
+		done <- rec
+	}()
+
+	<-reached // the relay is parked inside the worker
+	cancel()  // the client hangs up mid-relay
+
+	rec := <-done
+	if rec.Code != 499 {
+		t.Fatalf("cancelled-mid-relay status = %d, want 499 (%s)", rec.Code, rec.Body.Bytes())
+	}
+	if !strings.Contains(rec.Body.String(), "context canceled") {
+		t.Errorf("cancelled-mid-relay body %q does not carry the context error", rec.Body.String())
+	}
+	if got := localSims.Load(); got != 0 {
+		t.Errorf("local service ran %d simulator samples after client cancellation, want 0", got)
+	}
+}
+
+// TestFleetDownStillFallsBack guards the other side of the relay fix: with
+// the client alive and every worker dead, the local service remains the
+// last resort and the response is the full single-process answer.
+func TestFleetDownStillFallsBack(t *testing.T) {
+	f := newFleet(t, 1, service.Config{})
+	f.servers[0].CloseClientConnections()
+	f.servers[0].Close()
+
+	body := `{"api_version":"v1","workload":"intruder","machine":"Haswell","scale":0.05,"compare":true}`
+	status, got := do(t, f.handler, http.MethodPost, "/v1/predict", body)
+	if status != http.StatusOK {
+		t.Fatalf("fleet-down predict status = %d (%s)", status, got)
+	}
+	if want := serviceGolden(t, "predict.json"); string(got) != string(want) {
+		t.Error("fleet-down fallback differs from the single-process golden")
+	}
+}

@@ -143,11 +143,16 @@ func (c *Coordinator) executeCell(ctx context.Context, req service.CellRequest, 
 	if err != nil {
 		return service.SweepCell{}, err
 	}
-	if res, ok := c.relay(ctx, "/v1/cell", routeKey, body); ok && res.status == http.StatusOK {
+	if res, rerr := c.relay(ctx, "/v1/cell", routeKey, body); rerr == nil && res.status == http.StatusOK {
 		var cr service.CellResponse
 		if json.Unmarshal(res.body, &cr) == nil {
 			return cr.Cell, nil
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		// Every waiter of this cell flight is gone: return the cancellation
+		// instead of burning a local simulation nobody will read.
+		return service.SweepCell{}, err
 	}
 	cr, err := c.cfg.Local.Cell(ctx, req)
 	if err != nil {

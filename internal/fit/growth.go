@@ -1,0 +1,69 @@
+package fit
+
+import "math"
+
+// GrowthClass buckets how fast a fitted extrapolation grows across a core
+// range. The bucket thresholds operate on the effective power-law exponent
+// p of the fit over [lo, hi]: y(hi)/y(lo) = (hi/lo)^p. The bands are
+// deliberately wide (|p| ≤ 0.1 is flat, 0.9..1.15 is linear) so measurement
+// noise at the fit boundary does not flip the label.
+type GrowthClass string
+
+// Growth classes, ordered from shrinking to exploding.
+const (
+	GrowthDecreasing  GrowthClass = "decreasing"
+	GrowthFlat        GrowthClass = "flat"
+	GrowthSublinear   GrowthClass = "sublinear"
+	GrowthLinear      GrowthClass = "linear"
+	GrowthSuperlinear GrowthClass = "superlinear"
+)
+
+// Exponent band edges for ClassifyGrowth.
+const (
+	flatBand     = 0.10
+	linearLo     = 0.90
+	linearHi     = 1.15
+	maxExponent  = 99
+	exponentZero = 1e-12
+)
+
+// ClassifyGrowth classifies the fit's growth over [lo, hi] (core counts,
+// lo > 0) and returns the class with the effective exponent it was derived
+// from. Values at or below zero are floored at a tiny fraction of the
+// larger endpoint so a category that vanishes (or appears) inside the range
+// still classifies deterministically; a category absent at both ends is
+// flat. The exponent is clamped to ±99 so responses stay finite and
+// JSON-encodable.
+func (f *Fit) ClassifyGrowth(lo, hi float64) (GrowthClass, float64) {
+	if lo <= 0 || hi <= lo {
+		return GrowthFlat, 0
+	}
+	ylo, yhi := f.Eval(lo), f.Eval(hi)
+	floor := exponentZero
+	if m := math.Max(math.Abs(ylo), math.Abs(yhi)); m > 0 {
+		floor = m * 1e-9
+	}
+	if ylo < floor {
+		ylo = floor
+	}
+	if yhi < floor {
+		yhi = floor
+	}
+	p := math.Log(yhi/ylo) / math.Log(hi/lo)
+	if p > maxExponent {
+		p = maxExponent
+	} else if p < -maxExponent {
+		p = -maxExponent
+	}
+	switch {
+	case p < -flatBand:
+		return GrowthDecreasing, p
+	case p <= flatBand:
+		return GrowthFlat, p
+	case p < linearLo:
+		return GrowthSublinear, p
+	case p <= linearHi:
+		return GrowthLinear, p
+	}
+	return GrowthSuperlinear, p
+}

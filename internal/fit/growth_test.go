@@ -1,0 +1,73 @@
+package fit
+
+import (
+	"math"
+	"testing"
+)
+
+// lin builds a Fit evaluating a + b*x, the simplest handle on ClassifyGrowth.
+func lin(a, b float64) *Fit {
+	return &Fit{Kernel: Linear, Params: []float64{a, b}, YScale: 1}
+}
+
+func TestClassifyGrowth(t *testing.T) {
+	cases := []struct {
+		name   string
+		f      *Fit
+		lo, hi float64
+		want   GrowthClass
+		wantP  float64 // NaN skips the exponent check
+	}{
+		// y = x doubles exactly with the range: p = 1.
+		{"identity is linear", lin(0, 1), 1, 20, GrowthLinear, 1},
+		// A constant has zero exponent by construction.
+		{"constant is flat", lin(5, 0), 1, 48, GrowthFlat, 0},
+		// y(1)=10, y(10)=1: a decade down over a decade across, p = -1.
+		{"shrinking cost is decreasing", lin(11, -1), 1, 10, GrowthDecreasing, math.NaN()},
+		// y = x^2 via Poly25: p = 2.
+		{"quadratic is superlinear", &Fit{Kernel: Poly25,
+			Params: []float64{0, 0, 1, 0}, YScale: 1}, 1, 20, GrowthSuperlinear, 2},
+		// Constant + slope: y(1)=101, y(100)=200 — grows, but far slower
+		// than the core count.
+		{"diluted slope is sublinear", lin(100, 1), 1, 100, GrowthSublinear, math.NaN()},
+		// Noise-wide bands: p just inside each boundary keeps the label.
+		{"p=0.1 still flat", &Fit{Kernel: Poly25,
+			Params: []float64{0, 0, 0, 0}, YScale: 1}, 1, 20, GrowthFlat, 0},
+		// Degenerate ranges classify flat instead of dividing by zero.
+		{"inverted range is flat", lin(0, 1), 20, 1, GrowthFlat, 0},
+		{"zero lo is flat", lin(0, 1), 0, 20, GrowthFlat, 0},
+		// A category absent at both ends (identically zero) is flat, not
+		// a NaN exponent.
+		{"vanished category is flat", lin(0, 0), 1, 48, GrowthFlat, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, p := c.f.ClassifyGrowth(c.lo, c.hi)
+			if got != c.want {
+				t.Errorf("class = %q (p=%g), want %q", got, p, c.want)
+			}
+			if !math.IsNaN(c.wantP) && math.Abs(p-c.wantP) > 1e-9 {
+				t.Errorf("exponent = %g, want %g", p, c.wantP)
+			}
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				t.Errorf("exponent %v is not finite", p)
+			}
+		})
+	}
+}
+
+// TestClassifyGrowthClamp: a fit that explodes (or collapses to the floor)
+// still reports a finite, JSON-encodable exponent.
+func TestClassifyGrowthClamp(t *testing.T) {
+	// y(1) = 0 (floored) while y(1.01) = 0.01: a nine-decade jump across a
+	// 1% core range has a raw exponent in the thousands; the clamp keeps
+	// it at +99.
+	up := &Fit{Kernel: Linear, Params: []float64{-1, 1}, YScale: 1}
+	if _, p := up.ClassifyGrowth(1, 1.01); p != maxExponent {
+		t.Errorf("exploding fit exponent = %g, want clamp at %g", p, float64(maxExponent))
+	}
+	down := &Fit{Kernel: Linear, Params: []float64{2, -1}, YScale: 1}
+	if cls, p := down.ClassifyGrowth(1, 2); cls != GrowthDecreasing || p > -1 {
+		t.Errorf("collapsing fit = %q p=%g, want decreasing with strongly negative p", cls, p)
+	}
+}

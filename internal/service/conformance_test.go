@@ -200,6 +200,27 @@ func TestServiceConformance(t *testing.T) {
 				}
 				return svc.Curve(ctx, req)
 			}},
+
+		// Diagnose joins the byte-stability contract: sorted categories,
+		// fixed float precision, schema-drawn relief knob.
+		{"diagnose.json", http.MethodPost, "/v1/diagnose",
+			`{"workload":"memcached?skew=3","machine":"Haswell","target":"Xeon20","scale":0.05,"soft":true}`,
+			func(ctx context.Context, body string) (any, error) {
+				var req DiagnoseRequest
+				if err := json.Unmarshal([]byte(body), &req); err != nil {
+					return nil, err
+				}
+				return svc.Diagnose(ctx, req)
+			}},
+		{"diagnose_hw.json", http.MethodPost, "/v1/diagnose",
+			`{"workload":"intruder","machine":"Haswell","scale":0.05}`,
+			func(ctx context.Context, body string) (any, error) {
+				var req DiagnoseRequest
+				if err := json.Unmarshal([]byte(body), &req); err != nil {
+					return nil, err
+				}
+				return svc.Diagnose(ctx, req)
+			}},
 	}
 	for _, c := range cases {
 		c := c

@@ -55,8 +55,8 @@ func TestSaturatedEndpointRejectsWith429(t *testing.T) {
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("saturated predict status = %d, want 429 (%s)", rec.Code, rec.Body.Bytes())
 	}
-	if ra := rec.Header().Get("Retry-After"); ra == "" {
-		t.Error("429 response carries no Retry-After header")
+	if ra := rec.Header().Get("Retry-After"); ra != "2" {
+		t.Errorf("429 Retry-After = %q, want \"2\" (one second floor + one capacity of load)", ra)
 	}
 	var e struct {
 		Error string `json:"error"`
@@ -173,6 +173,60 @@ func TestQueuedRequestWaitsThenRuns(t *testing.T) {
 	close(release)
 	if status := <-firstDone; status != http.StatusOK {
 		t.Fatalf("first request finished with %d, want 200", status)
+	}
+}
+
+// TestRetryAfterScalesWithLoad pins the 429 hint contract: Retry-After is
+// one polite second plus the backlog (executing + queued) in multiples of
+// capacity, capped at maxRetryAfterSeconds — never the old hard-coded "1".
+// Coordinators honor the hint verbatim, so its shape is API.
+func TestRetryAfterScalesWithLoad(t *testing.T) {
+	svc, started, release := blockingService(t)
+	h := NewHandler(svc, ServerConfig{MaxInFlight: 1, MaxQueue: 1})
+
+	firstDone := make(chan int)
+	go func() {
+		status, _ := do(t, h, http.MethodPost, "/v1/predict", predictBody)
+		firstDone <- status
+	}()
+	<-started // slot held: load = 1 capacity
+
+	// Park a second request in the queue: load = 2 capacities.
+	ctx, cancel := context.WithCancel(context.Background())
+	queuedDone := make(chan struct{})
+	go func() {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(predictBody)).WithContext(ctx)
+		h.ServeHTTP(rec, req)
+		close(queuedDone)
+	}()
+	waitForQueued(t, h)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(predictBody)))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overflow status = %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "3" {
+		t.Errorf("Retry-After with 1 in flight + 1 queued = %q, want \"3\"", ra)
+	}
+
+	cancel()
+	<-queuedDone
+	close(release)
+	<-firstDone
+}
+
+// TestRetryAfterIsCapped: a gate cannot ask clients to wait forever — the
+// hint tops out at maxRetryAfterSeconds no matter the backlog.
+func TestRetryAfterIsCapped(t *testing.T) {
+	g := NewGate(1, -1)
+	g.inFlight.Store(100)
+	if got := g.retryAfter(); got != "8" {
+		t.Errorf("retryAfter under 100x load = %q, want the %d cap", got, maxRetryAfterSeconds)
+	}
+	if got := NewGate(1, -1).retryAfter(); got != "1" {
+		t.Errorf("idle retryAfter = %q, want \"1\"", got)
 	}
 }
 

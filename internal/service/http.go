@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -126,10 +127,25 @@ func (g *Gate) Depths() []EndpointDepth {
 	return out
 }
 
-// retryAfterSeconds is the Retry-After hint on 429 responses. The server
-// cannot know when a slot will free (a cold prediction may run for minutes),
-// so it advertises the shortest polite interval rather than a guess.
-const retryAfterSeconds = "1"
+// maxRetryAfterSeconds caps the Retry-After hint: past a point a bigger
+// backlog says "come back much later", and 8s is already longer than any
+// warm request takes.
+const maxRetryAfterSeconds = 8
+
+// retryAfter computes the Retry-After hint of a 429: one polite second as
+// the floor, plus the current backlog (executing + queued) measured in
+// multiples of the server's own capacity. A server one-deep in work says
+// "2"; one drowning four capacities deep says "5" — so coordinators that
+// honor the hint spread their retries with the actual load instead of
+// hammering a fixed beat.
+func (g *Gate) retryAfter() string {
+	load := g.inFlight.Load() + g.queued.Load()
+	secs := 1 + load/int64(cap(g.slots))
+	if secs > maxRetryAfterSeconds {
+		secs = maxRetryAfterSeconds
+	}
+	return strconv.FormatInt(secs, 10)
+}
 
 // Wrap gates a handler under the endpoint's label: a free slot admits
 // immediately; otherwise the request queues while the bounded queue has
@@ -147,7 +163,7 @@ func (g *Gate) Wrap(endpoint string, next http.Handler) http.Handler {
 			if g.queued.Add(1) > g.queueCap {
 				g.queued.Add(-1)
 				eg.rejected.Add(1)
-				w.Header().Set("Retry-After", retryAfterSeconds)
+				w.Header().Set("Retry-After", g.retryAfter())
 				writeJSON(w, http.StatusTooManyRequests,
 					errorJSON{Error: fmt.Sprintf("server saturated: %d in flight and %d queued; retry later", cap(g.slots), g.queueCap)})
 				return
@@ -188,6 +204,8 @@ type errorJSON struct {
 //	POST /v1/collect              CollectRequest  → CollectResponse
 //	POST /v1/curve                CurveRequest    → CurveResponse
 //	POST /v1/cell                 CellRequest     → CellResponse
+//	POST /v1/diagnose             DiagnoseRequest → DiagnoseResponse
+//	GET  /v1/diagnose             (query params)  → DiagnoseResponse
 //	GET  /v1/workloads                            → WorkloadsResponse
 //	GET  /v1/machines                             → MachinesResponse
 //	GET  /healthz                                 → liveness + gauges
@@ -229,6 +247,10 @@ func NewHandler(svc *Service, cfg ServerConfig) http.Handler {
 	mux.Handle("POST /v1/collect", gate.Wrap("collect", CollectHandler(svc)))
 	mux.Handle("POST /v1/curve", gate.Wrap("curve", CurveHandler(svc)))
 	mux.Handle("POST /v1/cell", gate.Wrap("cell", CellHandler(svc)))
+	// Diagnose speaks both verbs: POST carries the typed request, GET the
+	// same fields as query parameters (handy from a browser or curl).
+	mux.Handle("POST /v1/diagnose", gate.Wrap("diagnose", DiagnoseHandler(svc)))
+	mux.Handle("GET /v1/diagnose", gate.Wrap("diagnose", DiagnoseGetHandler(svc)))
 	// ?schemas=1 on the GET endpoints additionally returns each family's
 	// parameter schema (the spec grammar's keys, types, bounds, defaults).
 	mux.Handle("GET /v1/workloads", gate.Wrap("workloads", WorkloadsHandler(svc.List)))
@@ -250,6 +272,28 @@ func CurveHandler(svc *Service) http.Handler { return handleJSON(svc.Curve) }
 // CellHandler is the bare POST /v1/cell handler: one planned sweep cell,
 // the unit the coordinator routes to workers.
 func CellHandler(svc *Service) http.Handler { return handleJSON(svc.Cell) }
+
+// DiagnoseHandler is the bare POST /v1/diagnose handler.
+func DiagnoseHandler(svc *Service) http.Handler { return handleJSON(svc.Diagnose) }
+
+// DiagnoseGetHandler is the bare GET /v1/diagnose handler: the query
+// parameters build the same DiagnoseRequest the POST body carries, so both
+// verbs answer byte-identically.
+func DiagnoseGetHandler(svc *Service) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		req, err := DiagnoseRequestFromQuery(r.URL.Query())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		resp, err := svc.Diagnose(r.Context(), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+}
 
 // WorkloadsHandler is the bare GET /v1/workloads handler over any List
 // implementation (the coordinator passes its local service's List: registry
