@@ -39,6 +39,8 @@ func run() int {
 		"measure a cold vs warm prediction sweep through the planner and write BENCH_sweep.json (to -out, or the working directory)")
 	serveBench := flag.Bool("servebench", false,
 		"load-test an in-process cluster (1 coordinator + 2 workers over HTTP) at several concurrency levels and write BENCH_http.json (to -out, or the working directory)")
+	exploreBench := flag.Bool("explorebench", false,
+		"measure budgeted exploration of a reference parameter region against an exhaustive sweep and write BENCH_explore.json (to -out, or the working directory)")
 	simBench := flag.Bool("simbench", false,
 		"measure cold CollectSeries throughput of the simulation engine and write BENCH_sim.json (to -out, or the working directory)")
 	simMachine := flag.String("simmachine", "Xeon20", "machine preset the -simbench schedule runs on")
@@ -98,6 +100,15 @@ func run() int {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		if err := runServeBench(ctx, *scale, *outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "estima-bench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if *exploreBench {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := runExploreBench(ctx, *scale, *outDir); err != nil {
 			fmt.Fprintf(os.Stderr, "estima-bench: %v\n", err)
 			return 1
 		}

@@ -97,8 +97,8 @@ func renderDiagnose(resp *service.DiagnoseResponse) {
 		if resp.Relief.Action == "raise" {
 			verb = "raise"
 		}
-		fmt.Printf("relief: %s `%s` (default %s): %s\n",
-			verb, resp.Relief.Param, resp.Relief.Default, resp.Relief.Help)
+		fmt.Printf("relief: %s `%s` (default %s, ~%.2f%% of stalls addressable): %s\n",
+			verb, resp.Relief.Param, resp.Relief.Default, resp.Relief.DeltaPct, resp.Relief.Help)
 	}
 	fmt.Printf("verdict: %s\n", resp.Summary)
 }

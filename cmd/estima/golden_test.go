@@ -71,6 +71,15 @@ var goldenCases = []struct {
 	{"diagnose_intruder_haswell.golden", func() error {
 		return cmdDiagnose(bg, []string{"-w", "intruder", "-m", "Haswell", "-scale", "0.05"})
 	}},
+	{"explore_memcached_haswell.golden", func() error {
+		return cmdExplore(bg, []string{"-w", "memcached?skew=1.5,skew=3,skew=6,setpct=0,setpct=20",
+			"-m", "Haswell", "-scale", "0.05"})
+	}},
+	// The JSON form is the exact /v1/explore response body.
+	{"explore_memcached_haswell_json.golden", func() error {
+		return cmdExplore(bg, []string{"-w", "memcached?skew=1.5,skew=3,skew=6,setpct=0,setpct=20",
+			"-m", "Haswell", "-scale", "0.05", "-format", "json"})
+	}},
 }
 
 func TestGoldenOutputs(t *testing.T) {

@@ -54,6 +54,8 @@ func run(ctx context.Context, args []string) int {
 		err = cmdBottleneck(ctx, args[1:])
 	case "diagnose":
 		err = cmdDiagnose(ctx, args[1:])
+	case "explore":
+		err = cmdExplore(ctx, args[1:])
 	case "serve":
 		err = cmdServe(ctx, args[1:])
 	case "-h", "--help", "help":
@@ -94,6 +96,8 @@ commands:
   bottleneck  report predicted stall bottlenecks by code site
   diagnose    explain a scenario's predicted bottlenecks: category shares,
               crossover points, the scaling killer, and a relief knob
+  explore     cover a workload parameter region with a budgeted fraction of
+              the simulations, estimating the unmeasured remainder
   serve       serve the prediction API over HTTP (/v1/*); -worker and
               -coordinator -peers=... scale one fleet out over shards
 `)

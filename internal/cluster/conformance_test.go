@@ -129,6 +129,8 @@ var conformanceCases = []struct {
 		`{"workload":"memcached?skew=3","machine":"Haswell","target":"Xeon20","scale":0.05,"soft":true}`},
 	{"diagnose_hw.json", http.MethodPost, "/v1/diagnose",
 		`{"workload":"intruder","machine":"Haswell","scale":0.05}`},
+	{"explore.json", http.MethodPost, "/v1/explore",
+		`{"workload":"memcached?skew=1.5,skew=2.5,setpct=0,setpct=20","machine":"Haswell","scale":0.05}`},
 }
 
 // TestClusterConformance is the tentpole's lock: every service-suite golden

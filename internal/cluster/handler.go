@@ -38,6 +38,10 @@ func NewHandler(c *Coordinator, cfg service.ServerConfig) http.Handler {
 	mux.Handle("POST /v1/collect", gate.Wrap("collect", c.relayHandler("/v1/collect", service.CollectHandler(local))))
 	mux.Handle("POST /v1/curve", gate.Wrap("curve", c.relayHandler("/v1/curve", service.CurveHandler(local))))
 	mux.Handle("POST /v1/cell", gate.Wrap("cell", c.relayHandler("/v1/cell", service.CellHandler(local))))
+	// Explore plans locally (identical validation and acquisition decisions)
+	// and fans each round's cells out through the same per-cell flights a
+	// sweep uses — responses are byte-identical to single-process ones.
+	mux.Handle("POST /v1/explore", gate.Wrap("explore", service.NewExploreHandler(c.Explore)))
 	// Diagnose routes like every other scenario-keyed POST; the GET verb
 	// converts its query into the canonical POST body first, so both verbs
 	// share one relay (and coalesce with equivalent POSTs in flight).

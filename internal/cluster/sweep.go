@@ -122,6 +122,7 @@ func (c *Coordinator) runCell(ctx context.Context, req service.SweepRequest, pc 
 		Soft:      req.Soft,
 		Bootstrap: req.Bootstrap,
 		CILevel:   req.CILevel,
+		Seed:      req.Seed,
 	}
 	cell, err := c.cellFlights.do(ctx, pc.FitKey, func(fctx context.Context) (service.SweepCell, error) {
 		return c.executeCell(fctx, cellReq, pc.RouteKey)

@@ -173,6 +173,31 @@ func approximateRelaxing(xs, ys []float64, fopt fit.Options) (*fit.Fit, error) {
 	return fit.Approximate(xs, ys, relaxed)
 }
 
+// RelativeBandWidth is the width of a bootstrap confidence band relative to
+// its point estimate: (hi-lo)/time. It is the explore planner's acquisition
+// signal — "how unsure is this prediction" as a unitless fraction that is
+// comparable across cells whose absolute times differ by orders of
+// magnitude. Degenerate inputs (no positive point estimate, or no band
+// above the point) score 0: a cell with no band carries no refinement
+// signal.
+func RelativeBandWidth(time, lo, hi float64) float64 {
+	if !(time > 0) || !(hi > lo) {
+		return 0
+	}
+	return (hi - lo) / time
+}
+
+// RelativeBandWidth is the relative band width at the prediction's largest
+// target core count — the extrapolation's far end, where uncertainty is
+// widest and the scaling verdict is made. 0 without a bootstrap band.
+func (p *Prediction) RelativeBandWidth() float64 {
+	n := len(p.Time)
+	if n == 0 || len(p.TimeLo) != n || len(p.TimeHi) != n {
+		return 0
+	}
+	return RelativeBandWidth(p.Time[n-1], p.TimeLo[n-1], p.TimeHi[n-1])
+}
+
 // TimeAt returns the predicted time at the given core count.
 func (p *Prediction) TimeAt(cores int) (float64, error) {
 	for i, c := range p.TargetCores {

@@ -209,6 +209,17 @@ func CandidateFits(xs, ys []float64, opt Options) ([]*Fit, error) {
 // fitOne fits a single kernel to the given window, normalizing y for
 // conditioning. Returns nil if the kernel cannot be fitted on this window.
 func fitOne(kern *Kernel, xs, ys []float64) *Fit {
+	return fitOneSeeded(kern, xs, ys, nil)
+}
+
+// fitOneSeeded is fitOne with one extra Levenberg-Marquardt start appended
+// after the kernel's own: coefficients of a previous fit of the same kernel
+// on nearby data (normalized-y space). Refit passes the fit being
+// resampled, so bootstrap replicates start the search at the optimum the
+// real measurements selected. The seed runs last and wins only on strictly
+// smaller chi², so fits where the standard starts already find the optimum
+// are byte-unchanged. Linear kernels solve exactly and ignore the seed.
+func fitOneSeeded(kern *Kernel, xs, ys, seed []float64) *Fit {
 	if len(xs) < 2 {
 		return nil
 	}
@@ -246,6 +257,9 @@ func fitOne(kern *Kernel, xs, ys []float64) *Fit {
 	}
 
 	starts := kern.Starts(xs, norm)
+	if len(seed) == kern.NParams && stats.AllFinite(seed) {
+		starts = append(starts, seed)
+	}
 	if len(starts) == 0 {
 		return nil
 	}

@@ -5,8 +5,12 @@ package fit
 // the inner loop of residual-bootstrap resampling: the expensive
 // kernel × prefix search of Approximate runs once, on the real
 // measurements; each resample only re-estimates the selected function's
-// coefficients on the perturbed observations. The realism filters are not
-// re-applied — the caller judges a refit by the predictions it produces.
+// coefficients on the perturbed observations — warm-started from f's own
+// coefficients, since a perturbation of the data moves the optimum only a
+// little (the seed start is additive: it changes a replicate only when it
+// lands a strictly better chi² than the kernel's standard starts). The
+// realism filters are not re-applied — the caller judges a refit by the
+// predictions it produces.
 func Refit(f *Fit, xs, ys []float64) (*Fit, error) {
 	if f == nil || len(xs) != len(ys) || len(xs) < 2 {
 		return nil, ErrBadInput
@@ -15,7 +19,7 @@ func Refit(f *Fit, xs, ys []float64) (*Fit, error) {
 	if plen < 2 || plen > len(xs) {
 		plen = len(xs)
 	}
-	nf := fitOne(f.Kernel, xs[:plen], ys[:plen])
+	nf := fitOneSeeded(f.Kernel, xs[:plen], ys[:plen], f.Params)
 	if nf == nil {
 		return nil, ErrNoValidFit
 	}

@@ -44,6 +44,39 @@ func TestRefitRecoversPerturbedCoefficients(t *testing.T) {
 	}
 }
 
+// Refit seeds the LM search with the original fit's coefficients. Refitting
+// a nonlinear kernel on the *unperturbed* series must therefore never do
+// worse than the original: the original optimum itself is on the start list.
+func TestRefitWarmStartNotWorseOnSameData(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = (1 + 0.5*x) / (1 + 0.01*x) // rational shape
+	}
+	f, err := Approximate(xs, ys, Options{Kernels: []*Kernel{Rat22}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, err := Refit(f, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var orig, warm float64
+	for i, x := range xs {
+		orig += (f.Eval(x) - ys[i]) * (f.Eval(x) - ys[i])
+		warm += (nf.Eval(x) - ys[i]) * (nf.Eval(x) - ys[i])
+	}
+	if warm > orig*(1+1e-9)+1e-12 {
+		t.Errorf("warm-started refit regressed on identical data: sse %g -> %g", orig, warm)
+	}
+	// A junk-length seed must be ignored, not crash the refit.
+	junk := *f
+	junk.Params = []float64{1}
+	if _, err := Refit(&junk, xs, ys); err != nil {
+		t.Errorf("refit with wrong-length seed params: %v", err)
+	}
+}
+
 func TestRefitRejectsBadInput(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5, 6}
 	ys := []float64{2, 4, 6, 8, 10, 12}

@@ -155,9 +155,11 @@ type SweepRequest struct {
 	Soft bool `json:"soft,omitempty"`
 	// Workers bounds the job-level worker pool; 0 means NumCPU.
 	Workers int `json:"workers,omitempty"`
-	// Bootstrap / CILevel enable confidence bands per cell.
+	// Bootstrap / CILevel enable confidence bands per cell; Seed picks the
+	// deterministic bootstrap resampling stream (0 means the default seed).
 	Bootstrap int     `json:"bootstrap,omitempty"`
 	CILevel   float64 `json:"ci_level,omitempty"`
+	Seed      int64   `json:"seed,omitempty"`
 }
 
 // SweepCell is one finished cell of the matrix: the prediction summary or
@@ -279,10 +281,11 @@ type CellRequest struct {
 	MeasCores int `json:"meas_cores,omitempty"`
 	// Scale is the dataset scale; 0 means 1.
 	Scale float64 `json:"scale,omitempty"`
-	// Soft / Bootstrap / CILevel mirror the SweepRequest options.
+	// Soft / Bootstrap / CILevel / Seed mirror the SweepRequest options.
 	Soft      bool    `json:"soft,omitempty"`
 	Bootstrap int     `json:"bootstrap,omitempty"`
 	CILevel   float64 `json:"ci_level,omitempty"`
+	Seed      int64   `json:"seed,omitempty"`
 }
 
 // CellResponse is the finished cell. Execution failures land in

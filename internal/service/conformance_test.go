@@ -221,6 +221,21 @@ func TestServiceConformance(t *testing.T) {
 				}
 				return svc.Diagnose(ctx, req)
 			}},
+
+		// Explore joins the contract: the budgeted planner's round
+		// schedule, estimates, and cell order are all part of the pinned
+		// bytes. The region deliberately avoids cells earlier cases warm
+		// (memcached?skew=3 at this scale) so the golden does not depend
+		// on case order.
+		{"explore.json", http.MethodPost, "/v1/explore",
+			`{"workload":"memcached?skew=1.5,skew=2.5,setpct=0,setpct=20","machine":"Haswell","scale":0.05}`,
+			func(ctx context.Context, body string) (any, error) {
+				var req ExploreRequest
+				if err := json.Unmarshal([]byte(body), &req); err != nil {
+					return nil, err
+				}
+				return svc.Explore(ctx, req)
+			}},
 	}
 	for _, c := range cases {
 		c := c

@@ -70,6 +70,11 @@ type ReliefKnob struct {
 	// Help is the schema's description.
 	Default string `json:"default,omitempty"`
 	Help    string `json:"help,omitempty"`
+	// DeltaPct estimates the share of predicted stalls this knob can
+	// address: the killer's share scaled by how much of the parameter's
+	// typed range is still available in Action's direction. Relief
+	// candidates are ranked by it; ties keep schema order.
+	DeltaPct float64 `json:"delta_pct,omitempty"`
 }
 
 // DiagnoseResponse explains one scenario's predicted scaling behaviour.
@@ -194,7 +199,7 @@ func (s *Service) Diagnose(ctx context.Context, req DiagnoseRequest) (*DiagnoseR
 	for _, x := range diag.Crossovers {
 		resp.Crossovers = append(resp.Crossovers, DiagnoseCrossover{Cores: x.Cores, From: x.From, To: x.To})
 	}
-	resp.Relief = reliefFor(w.Name(), resp.KillerClass)
+	resp.Relief = reliefFor(w.Name(), resp.KillerClass, resp.KillerSharePct)
 	resp.Summary = diagnoseSummary(resp)
 	return resp, nil
 }
@@ -218,32 +223,56 @@ var reliefKnobs = map[string]struct {
 	"centroids": {[]string{core.ClassMemory, core.ClassSync}, "raise"},
 }
 
-// reliefFor picks the first parameter in the workload family's schema order
-// whose knob entry relieves the killer's class, or nil (fixed workloads,
-// compute-bound scenarios).
-func reliefFor(workload, killerClass string) *ReliefKnob {
+// reliefFor ranks the workload family's schema parameters whose knob entry
+// relieves the killer's class by the share of predicted stalls each could
+// plausibly address — the killer's share scaled by the parameter's remaining
+// headroom on its typed axis, using the same unit normalization the explore
+// planner measures parameter-space distance with — and returns the best one,
+// or nil (fixed workloads, compute-bound scenarios). Ties on the rounded
+// delta keep schema declaration order, which was the old selection rule.
+func reliefFor(workload, killerClass string, killerSharePct float64) *ReliefKnob {
 	family := spec.Family(workload)
 	for _, f := range workloads.Families() {
 		if f.Name != family {
 			continue
 		}
-		for _, p := range f.Params {
+		axes := (&spec.Schema{Params: f.Params}).Axes()
+		var best *ReliefKnob
+		for i, p := range f.Params {
 			knob, ok := reliefKnobs[p.Key]
 			if !ok {
 				continue
 			}
+			relieves := false
 			for _, cls := range knob.classes {
 				if cls == killerClass {
-					return &ReliefKnob{
-						Param:   p.Key,
-						Action:  knob.action,
-						Default: p.Format(p.Default),
-						Help:    p.Help,
-					}
+					relieves = true
+					break
 				}
 			}
+			if !relieves {
+				continue
+			}
+			// Headroom in [0, 1]: how far the default sits from the bound
+			// Action moves it towards. A default pinned at that bound has
+			// nothing left to give and scores zero.
+			headroom := axes[i].Unit(axes[i].Default)
+			if knob.action == "raise" {
+				headroom = 1 - headroom
+			}
+			delta := round2(killerSharePct * headroom)
+			if best != nil && delta <= best.DeltaPct {
+				continue
+			}
+			best = &ReliefKnob{
+				Param:    p.Key,
+				Action:   knob.action,
+				Default:  p.Format(p.Default),
+				Help:     p.Help,
+				DeltaPct: delta,
+			}
 		}
-		return nil
+		return best
 	}
 	return nil
 }

@@ -106,16 +106,35 @@ func TestDiagnoseValidation(t *testing.T) {
 // gets no suggestion, and a parameterized one is only ever offered its own
 // keys.
 func TestDiagnoseReliefComesFromOwnSchema(t *testing.T) {
-	if knob := reliefFor("intruder", "sync"); knob == nil || knob.Param != "batch" {
+	if knob := reliefFor("intruder", "sync", 50); knob == nil || knob.Param != "batch" {
 		t.Errorf("reliefFor(intruder, sync) = %+v, want the batch knob", knob)
 	}
-	if knob := reliefFor("intruder?batch=4", "sync"); knob == nil || knob.Param != "batch" {
+	if knob := reliefFor("intruder?batch=4", "sync", 50); knob == nil || knob.Param != "batch" {
 		t.Errorf("reliefFor over a parameterized spec = %+v, want the batch knob", knob)
 	}
-	if knob := reliefFor("memcached?skew=3", "memory"); knob == nil || knob.Param != "skew" {
+	if knob := reliefFor("memcached?skew=3", "memory", 50); knob == nil || knob.Param != "skew" {
 		t.Errorf("reliefFor(memcached, memory) = %+v, want the skew knob", knob)
 	}
-	if knob := reliefFor("nonexistent-workload", "sync"); knob != nil {
+	if knob := reliefFor("nonexistent-workload", "sync", 50); knob != nil {
 		t.Errorf("reliefFor on an unknown family = %+v, want nil", knob)
+	}
+}
+
+// TestDiagnoseReliefRankedByDelta: among the knobs that relieve the killer's
+// class, the one with the largest addressable share wins, and the estimate
+// scales with the killer's share. memcached's memory relievers are skew
+// (headroom (2-1)/7 of its axis), setpct (5/100) and valsize ((550-64)/16320):
+// skew's headroom dominates, so it must win despite ties in class.
+func TestDiagnoseReliefRankedByDelta(t *testing.T) {
+	knob := reliefFor("memcached", "memory", 70)
+	if knob == nil || knob.Param != "skew" {
+		t.Fatalf("reliefFor(memcached, memory, 70) = %+v, want skew", knob)
+	}
+	if want := 10.0; knob.DeltaPct != want { // 70 * (2-1)/7
+		t.Errorf("skew DeltaPct = %g, want %g", knob.DeltaPct, want)
+	}
+	half := reliefFor("memcached", "memory", 35)
+	if half == nil || half.DeltaPct != 5 {
+		t.Errorf("DeltaPct does not scale with the killer share: %+v", half)
 	}
 }

@@ -80,3 +80,45 @@ func FuzzDecodeRequest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeExploreRequest extends the decoding contract to the explore
+// endpoint: the strict decoder must never panic, anything it accepts must
+// re-encode, and the cheap validation helpers must be total over accepted
+// requests (the planner itself is exercised by the explore tests — fuzzing
+// stops at the decode/validate boundary so iterations stay cheap).
+func FuzzDecodeExploreRequest(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`null`,
+		`{"workload":"memcached","machine":"Haswell"}`,
+		`{"api_version":"v1","workload":"memcached?skew=1.5,skew=3,setpct=0,setpct=20","machine":"Haswell","scale":0.05}`,
+		`{"workload":"memcached","machine":"Haswell","budget":3,"target_band_pct":10,"round_size":2}`,
+		`{"workload":"memcached","machine":"Haswell","bootstrap":25,"ci_level":90,"seed":7,"workers":4}`,
+		`{"workload":"memcached","machine":"Haswell","budget":-2}`,
+		`{"workload":"memcached","machine":"Haswell","target_band_pct":-5}`,
+		`{"workload":"memcached","machine":"Haswell","round_size":-1}`,
+		`{"workload":"memcached?skew=NaN","machine":"Haswell"}`,
+		`{"budgit":3}`,
+		`{"api_version":"v9","workload":"memcached","machine":"Haswell"}`,
+		`{"workload":"memcached","machine":"Haswell"}   trailing`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		var er ExploreRequest
+		if err := dec.Decode(&er); err != nil {
+			return
+		}
+		checkVersion(er.APIVersion)
+		effectiveCILevel(er.CILevel)
+		canonicalRegion(er.Workload)
+		if _, err := json.Marshal(er); err != nil {
+			t.Fatalf("accepted ExploreRequest does not re-encode: %v", err)
+		}
+	})
+}

@@ -204,6 +204,7 @@ type errorJSON struct {
 //	POST /v1/collect              CollectRequest  → CollectResponse
 //	POST /v1/curve                CurveRequest    → CurveResponse
 //	POST /v1/cell                 CellRequest     → CellResponse
+//	POST /v1/explore              ExploreRequest  → ExploreResponse
 //	POST /v1/diagnose             DiagnoseRequest → DiagnoseResponse
 //	GET  /v1/diagnose             (query params)  → DiagnoseResponse
 //	GET  /v1/workloads                            → WorkloadsResponse
@@ -247,6 +248,7 @@ func NewHandler(svc *Service, cfg ServerConfig) http.Handler {
 	mux.Handle("POST /v1/collect", gate.Wrap("collect", CollectHandler(svc)))
 	mux.Handle("POST /v1/curve", gate.Wrap("curve", CurveHandler(svc)))
 	mux.Handle("POST /v1/cell", gate.Wrap("cell", CellHandler(svc)))
+	mux.Handle("POST /v1/explore", gate.Wrap("explore", ExploreHandler(svc)))
 	// Diagnose speaks both verbs: POST carries the typed request, GET the
 	// same fields as query parameters (handy from a browser or curl).
 	mux.Handle("POST /v1/diagnose", gate.Wrap("diagnose", DiagnoseHandler(svc)))
@@ -272,6 +274,16 @@ func CurveHandler(svc *Service) http.Handler { return handleJSON(svc.Curve) }
 // CellHandler is the bare POST /v1/cell handler: one planned sweep cell,
 // the unit the coordinator routes to workers.
 func CellHandler(svc *Service) http.Handler { return handleJSON(svc.Cell) }
+
+// ExploreHandler is the bare POST /v1/explore handler.
+func ExploreHandler(svc *Service) http.Handler { return handleJSON(svc.Explore) }
+
+// NewExploreHandler serves POST /v1/explore over any explore implementation
+// — the Service's own, or the cluster coordinator's, whose responses are
+// therefore byte-identical by construction.
+func NewExploreHandler(explore func(context.Context, ExploreRequest) (*ExploreResponse, error)) http.Handler {
+	return handleJSON(explore)
+}
 
 // DiagnoseHandler is the bare POST /v1/diagnose handler.
 func DiagnoseHandler(svc *Service) http.Handler { return handleJSON(svc.Diagnose) }

@@ -405,6 +405,7 @@ func (s *Service) planSweep(req SweepRequest) (*sweepPlan, error) {
 					UseSoftware: req.Soft,
 					Bootstrap:   req.Bootstrap,
 					CILevel:     req.CILevel,
+					Seed:        req.Seed,
 					Workers:     1,
 				},
 			}
@@ -539,6 +540,7 @@ func (s *Service) Cell(ctx context.Context, req CellRequest) (*CellResponse, err
 			UseSoftware: req.Soft,
 			Bootstrap:   req.Bootstrap,
 			CILevel:     req.CILevel,
+			Seed:        req.Seed,
 			Workers:     1,
 		},
 	}

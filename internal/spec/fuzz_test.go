@@ -23,6 +23,8 @@ func FuzzParseSpec(f *testing.F) {
 		"",
 		"mc?skew=0x1.8p1",
 		"mc?a=-0",
+		"mc?skew=NaN",
+		"mc?skew=1e999",
 		"名前?キー=値",
 	} {
 		f.Add(seed)

@@ -1,0 +1,72 @@
+package spec
+
+import "math"
+
+// Axis is one numeric dimension of a family's parameter space: a schema
+// parameter's key and bounds, exposed as plain typed values so callers that
+// need parameter-space geometry (distance, normalization, headroom) never
+// reach into Param via reflection or re-declare bounds of their own.
+type Axis struct {
+	Key      string
+	Min, Max float64
+	Default  float64
+}
+
+// Axes returns one Axis per schema parameter in declaration order. A zero
+// Schema returns an empty slice: fixed workloads span a zero-dimensional
+// space where every point is the origin.
+func (s *Schema) Axes() []Axis {
+	out := make([]Axis, len(s.Params))
+	for i, p := range s.Params {
+		out[i] = Axis{Key: p.Key, Min: p.Min, Max: p.Max, Default: p.Default}
+	}
+	return out
+}
+
+// Unit maps a value onto the axis's [0, 1] unit interval. Degenerate axes
+// (Max <= Min) collapse to 0 — every value is the same point — and values
+// outside the bounds clamp, so Unit is total even for unresolved inputs.
+func (a Axis) Unit(val float64) float64 {
+	span := a.Max - a.Min
+	if !(span > 0) {
+		return 0
+	}
+	u := (val - a.Min) / span
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// Point maps resolved values onto the schema's unit hypercube: one
+// coordinate per axis in declaration order, each normalized by that axis's
+// bounds so a full-range skew swing and a full-range valsize swing are the
+// same distance despite their raw scales differing by orders of magnitude.
+func (s *Schema) Point(v Values) []float64 {
+	axes := s.Axes()
+	out := make([]float64, len(axes))
+	for i, a := range axes {
+		out[i] = a.Unit(v.Get(a.Key))
+	}
+	return out
+}
+
+// Distance is the Euclidean distance between two points of the same
+// schema's unit hypercube (as built by Point). Mismatched lengths compare
+// only the shared leading coordinates — points from the same schema always
+// agree, so the tolerance only matters for hand-built test inputs.
+func Distance(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}

@@ -1,0 +1,75 @@
+package spec
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAxesAndPoint(t *testing.T) {
+	s := testSchema()
+	axes := s.Axes()
+	if len(axes) != 2 || axes[0].Key != "skew" || axes[1].Key != "setpct" {
+		t.Fatalf("Axes() = %v, want skew then setpct in declaration order", axes)
+	}
+	if axes[0].Min != 1 || axes[0].Max != 8 || axes[0].Default != 2 {
+		t.Fatalf("skew axis = %+v, want bounds [1, 8] default 2", axes[0])
+	}
+
+	sp, err := Parse("mc?skew=8,setpct=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Resolve(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := s.Point(v)
+	if len(pt) != 2 || pt[0] != 1 || pt[1] != 0.5 {
+		t.Fatalf("Point = %v, want [1 0.5]", pt)
+	}
+
+	// Defaults land at the default's unit coordinate, not zero.
+	vDef, err := s.Resolve(&Spec{Family: "mc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptDef := s.Point(vDef)
+	if want := (2.0 - 1) / 7; ptDef[0] != want || ptDef[1] != 0.05 {
+		t.Fatalf("default Point = %v, want [%v 0.05]", ptDef, want)
+	}
+}
+
+func TestAxisUnitDegenerateAndClamp(t *testing.T) {
+	a := Axis{Key: "k", Min: 3, Max: 3}
+	if got := a.Unit(7); got != 0 {
+		t.Fatalf("degenerate axis Unit = %v, want 0", got)
+	}
+	b := Axis{Key: "k", Min: 0, Max: 10}
+	if b.Unit(-5) != 0 || b.Unit(15) != 1 {
+		t.Fatalf("Unit must clamp to [0, 1]: got %v and %v", b.Unit(-5), b.Unit(15))
+	}
+}
+
+func TestDistance(t *testing.T) {
+	if d := Distance([]float64{0, 0}, []float64{3.0 / 5, 4.0 / 5}); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("Distance = %v, want 1", d)
+	}
+	if d := Distance(nil, nil); d != 0 {
+		t.Fatalf("Distance(nil, nil) = %v, want 0", d)
+	}
+	// Mismatched lengths compare the shared prefix only.
+	if d := Distance([]float64{1}, []float64{1, 9}); d != 0 {
+		t.Fatalf("prefix Distance = %v, want 0", d)
+	}
+}
+
+func TestZeroSchemaPoint(t *testing.T) {
+	var s Schema
+	v, err := s.Resolve(&Spec{Family: "fixed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt := s.Point(v); len(pt) != 0 {
+		t.Fatalf("zero schema Point = %v, want empty", pt)
+	}
+}

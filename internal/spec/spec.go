@@ -21,6 +21,7 @@
 package spec
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -65,6 +66,15 @@ func Parse(s string) (*Spec, error) {
 		}
 		if v == "" {
 			return nil, fmt.Errorf("spec %q: parameter %q has an empty value", s, k)
+		}
+		// NaN and the infinities are grammar errors, not schema errors: they
+		// have no canonical identity (NaN != NaN breaks default elision and
+		// grid dedup), so no schema could ever accept them. Values that do
+		// not parse as floats at all pass through — resolution reports the
+		// better kind/bounds error for those. ErrRange still yields ±Inf for
+		// overflowing literals like 1e999, so it counts as parsed here.
+		if f, err := strconv.ParseFloat(v, 64); (err == nil || errors.Is(err, strconv.ErrRange)) && (math.IsNaN(f) || math.IsInf(f, 0)) {
+			return nil, fmt.Errorf("spec %q: parameter %q has a non-finite value %q", s, k, v)
 		}
 		sp.Pairs = append(sp.Pairs, KV{Key: k, Val: v})
 	}

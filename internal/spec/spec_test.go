@@ -35,6 +35,13 @@ func TestParse(t *testing.T) {
 		{in: "mc?=3", err: "not key=value"},
 		{in: "mc?skew=", err: "empty value"},
 		{in: "mc?a=1,,b=2", err: "not key=value"},
+		{in: "mc?skew=NaN", err: "non-finite"},
+		{in: "mc?skew=nan", err: "non-finite"},
+		{in: "mc?skew=+Inf", err: "non-finite"},
+		{in: "mc?skew=-infinity", err: "non-finite"},
+		{in: "mc?skew=1e999", err: "non-finite"},
+		// Underflow rounds to zero — finite, so it parses.
+		{in: "mc?skew=1e-999", family: "mc", pairs: []KV{{"skew", "1e-999"}}},
 	}
 	for _, c := range cases {
 		sp, err := Parse(c.in)
@@ -163,8 +170,6 @@ func TestResolveAndCanonical(t *testing.T) {
 		{in: "mc?skew=3,setpct=7", canonical: "mc?setpct=7,skew=3"},
 		{in: "mc?skw=3", err: `unknown parameter "skw" for workload "mc" (did you mean "skew"?)`},
 		{in: "mc?skew=9", err: "outside [1, 8]"},
-		{in: "mc?skew=NaN", err: "not a finite float"},
-		{in: "mc?skew=+Inf", err: "not a finite float"},
 		{in: "mc?setpct=1.5", err: "not an integer"},
 		{in: "mc?setpct=zz", err: "not a finite int"},
 		{in: "mc?skew=1,skew=2", err: "grids are only valid in sweeps"},
@@ -187,6 +192,17 @@ func TestResolveAndCanonical(t *testing.T) {
 		}
 		if got := sch.Canonical("mc", vals); got != c.canonical {
 			t.Errorf("Canonical(%q) = %q, want %q", c.in, got, c.canonical)
+		}
+	}
+}
+
+// Parse now rejects non-finite values before any schema sees them, but
+// Param.parse keeps its own guard for callers that build Specs directly.
+func TestParamParseRejectsNonFinite(t *testing.T) {
+	p := &Param{Key: "skew", Kind: Float, Min: 1, Max: 8}
+	for _, raw := range []string{"NaN", "+Inf", "-Inf", "1e999"} {
+		if _, err := p.parse(raw); err == nil || !strings.Contains(err.Error(), "not a finite") {
+			t.Errorf("parse(%q) error = %v, want not-a-finite", raw, err)
 		}
 	}
 }
